@@ -1,0 +1,298 @@
+//! Calibrated analytic CPU/GPU baseline models for the Neural Cache
+//! (ISCA 2018) reproduction.
+//!
+//! The paper measures TensorFlow Inception v3 inference on a dual-socket
+//! Xeon E5-2697 v3 (RAPL power) and an Nvidia Titan Xp (nvidia-smi power).
+//! We have neither machine nor TensorFlow; these baselines are analytic
+//! stand-ins **calibrated to the paper's published totals** (DESIGN.md §4):
+//!
+//! - end-to-end latency: 86 ms CPU (stated in Section V) and 36.3 ms GPU
+//!   (derived from the 18.3x / 7.7x Neural Cache speedups over the same
+//!   run);
+//! - per-layer latency: the total distributed proportionally to each
+//!   layer's multiply-accumulate volume plus a fixed per-layer overhead
+//!   (kernel launch / framework dispatch), reproducing Figure 13's
+//!   mixed-layer-dominated shape;
+//! - throughput vs batch: a two-parameter amortization curve
+//!   `thr(N) = N / (a + N*b)` pinned at the measured batch-1 latency and
+//!   the Figure 16 plateaus (48.7 inf/s CPU, 274.5 inf/s GPU);
+//! - power: the Table III averages (105.56 W CPU, 112.87 W GPU).
+//!
+//! Because the *comparisons* in the paper's evaluation only use these
+//! endpoint measurements, calibrating to them preserves who-wins-by-what-
+//! factor while the Neural Cache series remains fully model-derived.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use nc_dnn::{Layer, Model};
+use nc_geometry::SimTime;
+
+/// Hardware description of a baseline platform (Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Platform name.
+    pub name: &'static str,
+    /// Core clock, GHz.
+    pub frequency_ghz: f64,
+    /// CPU cores (with threads) or CUDA cores.
+    pub cores: u32,
+    /// Process node, nm.
+    pub process_nm: u32,
+    /// Thermal design power, W.
+    pub tdp_w: f64,
+    /// Cache description.
+    pub cache: &'static str,
+    /// Memory description.
+    pub memory: &'static str,
+}
+
+impl PlatformConfig {
+    /// Table II CPU row: Intel Xeon E5-2697 v3 (per socket).
+    #[must_use]
+    pub const fn xeon_e5_2697_v3() -> Self {
+        PlatformConfig {
+            name: "Intel Xeon E5-2697 v3",
+            frequency_ghz: 2.6,
+            cores: 14,
+            process_nm: 22,
+            tdp_w: 145.0,
+            cache: "32 kB i-L1 + 32 kB d-L1 per core, 256 kB L2 per core, 35 MB shared L3",
+            memory: "64 GB DDR4 DRAM",
+        }
+    }
+
+    /// Table II GPU row: Nvidia Titan Xp.
+    #[must_use]
+    pub const fn titan_xp() -> Self {
+        PlatformConfig {
+            name: "Nvidia Titan Xp",
+            frequency_ghz: 1.6,
+            cores: 3840,
+            process_nm: 16,
+            tdp_w: 250.0,
+            cache: "3 MB shared L2",
+            memory: "12 GB GDDR5X DRAM",
+        }
+    }
+}
+
+/// A calibrated baseline platform model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Hardware description.
+    pub config: PlatformConfig,
+    /// Measured Inception v3 batch-1 latency.
+    pub inception_latency: SimTime,
+    /// Throughput-curve fixed cost `a` (seconds per batch).
+    amortized_a: f64,
+    /// Throughput-curve marginal cost `b` (seconds per image).
+    marginal_b: f64,
+    /// Measured average power, W (Table III).
+    pub avg_power_w: f64,
+    /// Fixed per-layer dispatch overhead used by the per-layer split.
+    layer_overhead: SimTime,
+}
+
+/// The calibrated CPU baseline (TensorFlow on dual-socket Xeon E5-2697 v3).
+#[must_use]
+pub fn cpu_xeon_e5() -> Baseline {
+    // 86 ms measured (Section V); plateau 48.7 inf/s (= 604 / 12.4,
+    // Section VI-B).
+    let latency = 0.086;
+    let plateau = 604.0 / 12.4;
+    Baseline {
+        config: PlatformConfig::xeon_e5_2697_v3(),
+        inception_latency: SimTime::from_secs(latency),
+        marginal_b: 1.0 / plateau,
+        amortized_a: latency - 1.0 / plateau,
+        avg_power_w: 105.56,
+        layer_overhead: SimTime::from_secs(0.4e-3),
+    }
+}
+
+/// The calibrated GPU baseline (TensorFlow on Titan Xp).
+#[must_use]
+pub fn gpu_titan_xp() -> Baseline {
+    // 36.3 ms (derived: Neural Cache is 18.3x over CPU and 7.7x over GPU
+    // on the same inference, so GPU = 86 ms * 7.7 / 18.3); plateau
+    // 274.5 inf/s (= 604 / 2.2).
+    let latency = 0.086 * 7.7 / 18.3;
+    let plateau = 604.0 / 2.2;
+    Baseline {
+        config: PlatformConfig::titan_xp(),
+        inception_latency: SimTime::from_secs(latency),
+        marginal_b: 1.0 / plateau,
+        amortized_a: latency - 1.0 / plateau,
+        avg_power_w: 112.87,
+        layer_overhead: SimTime::from_secs(0.25e-3),
+    }
+}
+
+impl Baseline {
+    /// Batch-1 Inception v3 latency.
+    #[must_use]
+    pub fn total_latency(&self) -> SimTime {
+        self.inception_latency
+    }
+
+    /// Splits the measured total across a model's layers proportionally to
+    /// multiply-accumulate volume plus a fixed dispatch overhead per layer
+    /// (Figure 13's per-layer series).
+    #[must_use]
+    pub fn layer_latencies(&self, model: &Model) -> Vec<(String, SimTime)> {
+        let weights: Vec<(String, f64)> = model
+            .layers
+            .iter()
+            .zip(model.layer_inputs())
+            .map(|(layer, input)| (layer.name().to_owned(), layer_macs(layer, input)))
+            .collect();
+        let total_macs: f64 = weights.iter().map(|(_, w)| w).sum();
+        let overhead_total = self.layer_overhead * weights.len() as f64;
+        let compute_total = self.inception_latency - overhead_total;
+        weights
+            .into_iter()
+            .map(|(name, w)| {
+                let t = self.layer_overhead + compute_total * (w / total_macs);
+                (name, t)
+            })
+            .collect()
+    }
+
+    /// Throughput at a batch size, inferences per second (Figure 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn throughput(&self, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be at least 1");
+        batch as f64 / (self.amortized_a + batch as f64 * self.marginal_b)
+    }
+
+    /// Peak (large-batch) throughput, inferences per second.
+    #[must_use]
+    pub fn peak_throughput(&self) -> f64 {
+        1.0 / self.marginal_b
+    }
+
+    /// Energy of one batch-1 inference, joules (Table III).
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.avg_power_w * self.inception_latency.as_secs_f64()
+    }
+
+    /// Energy-delay product, joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.inception_latency.as_secs_f64()
+    }
+}
+
+/// Multiply-accumulate volume of one layer (pools weighted by their cheap
+/// window compares).
+fn layer_macs(layer: &Layer, input: nc_dnn::Shape) -> f64 {
+    match layer {
+        Layer::Pool(pool) => {
+            let out = pool.out_shape(input);
+            // Pool comparisons are ~10x cheaper than MACs on both platforms.
+            (out.len() * pool.k * pool.k) as f64 * 0.1
+        }
+        _ => {
+            let mut macs = 0.0;
+            if let Layer::Mixed(block) = layer {
+                for branch in &block.branches {
+                    let mut cur = input;
+                    for op in &branch.ops {
+                        if let nc_dnn::BranchOp::Conv(c) = op {
+                            let out = c.spec.out_shape(cur);
+                            macs += (out.len() * c.spec.macs_per_output()) as f64;
+                            cur = out;
+                        } else if let nc_dnn::BranchOp::Split(convs) = op {
+                            for c in convs {
+                                let out = c.spec.out_shape(cur);
+                                macs += (out.len() * c.spec.macs_per_output()) as f64;
+                            }
+                        } else if let nc_dnn::BranchOp::Pool(p) = op {
+                            cur = p.out_shape(cur);
+                        }
+                    }
+                }
+            } else if let Layer::Conv(c) = layer {
+                let out = c.spec.out_shape(input);
+                macs += (out.len() * c.spec.macs_per_output()) as f64;
+            }
+            macs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::inception::inception_v3;
+
+    #[test]
+    fn calibrated_latencies_match_paper() {
+        let cpu = cpu_xeon_e5();
+        let gpu = gpu_titan_xp();
+        assert!((cpu.total_latency().as_millis_f64() - 86.0).abs() < 1e-9);
+        assert!((gpu.total_latency().as_millis_f64() - 36.19).abs() < 0.1);
+    }
+
+    #[test]
+    fn layer_latencies_sum_to_total_and_mixed_dominates() {
+        let cpu = cpu_xeon_e5();
+        let model = inception_v3();
+        let layers = cpu.layer_latencies(&model);
+        assert_eq!(layers.len(), 20);
+        let sum: f64 = layers.iter().map(|(_, t)| t.as_secs_f64()).sum();
+        assert!((sum - 0.086).abs() < 1e-9);
+        // Figure 13: mixed layers dominate the CPU time.
+        let mixed: f64 = layers
+            .iter()
+            .filter(|(n, _)| n.starts_with("Mixed"))
+            .map(|(_, t)| t.as_secs_f64())
+            .sum();
+        assert!(mixed / sum > 0.6, "mixed share {:.2}", mixed / sum);
+        // Conv2d_2b is among the most expensive stem layers, as in Fig 13.
+        let stem_2b = layers.iter().find(|(n, _)| n == "Conv2d_2b_3x3").unwrap().1;
+        let stem_1a = layers.iter().find(|(n, _)| n == "Conv2d_1a_3x3").unwrap().1;
+        assert!(stem_2b > stem_1a);
+    }
+
+    #[test]
+    fn throughput_curves_hit_figure16_endpoints() {
+        let cpu = cpu_xeon_e5();
+        let gpu = gpu_titan_xp();
+        assert!((cpu.throughput(1) - 1.0 / 0.086).abs() < 1e-6);
+        assert!((cpu.peak_throughput() - 48.7).abs() < 0.1);
+        assert!((gpu.peak_throughput() - 274.5).abs() < 0.1);
+        // GPU plateaus by batch 64 (Figure 16).
+        assert!(gpu.throughput(64) / gpu.peak_throughput() > 0.85);
+        // Monotone non-decreasing.
+        for n in 1..256 {
+            assert!(gpu.throughput(n + 1) >= gpu.throughput(n));
+            assert!(cpu.throughput(n + 1) >= cpu.throughput(n));
+        }
+    }
+
+    #[test]
+    fn energy_matches_table3() {
+        let cpu = cpu_xeon_e5();
+        let gpu = gpu_titan_xp();
+        assert!((cpu.energy_j() - 9.137).abs() < 0.1, "paper: 9.137 J");
+        assert!((gpu.energy_j() - 4.087).abs() < 0.1, "paper: 4.087 J");
+        assert!(cpu.edp() > gpu.edp());
+    }
+
+    #[test]
+    fn table2_configs() {
+        let c = PlatformConfig::xeon_e5_2697_v3();
+        assert_eq!(c.cores, 14);
+        assert_eq!(c.process_nm, 22);
+        let g = PlatformConfig::titan_xp();
+        assert_eq!(g.cores, 3840);
+        assert_eq!(g.tdp_w, 250.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmarks of the bit-accurate functional executor: how fast the
+//! simulator pushes real bit-serial MAC/reduce/requantize sequences (one
+//! convolution window = hundreds of two-row activations).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nc_dnn::workload::{random_conv, random_input, single_conv_model, tiny_cnn};
+use nc_dnn::{Padding, Shape};
+use neural_cache::functional;
+
+fn bench_functional_conv(c: &mut Criterion) {
+    let conv = random_conv("bench", (3, 3), 8, 4, 1, Padding::Same, true, 3);
+    let model = single_conv_model(conv, Shape::new(6, 6, 8));
+    let input = random_input(model.input_shape, model.input_quant, 9);
+    let mut g = c.benchmark_group("functional/conv3x3_c8_m4_6x6");
+    g.throughput(Throughput::Elements((6 * 6 * 4) as u64));
+    g.bench_function("bit-accurate", |b| {
+        b.iter(|| functional::run_model(&model, &input).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_functional_tiny_cnn(c: &mut Criterion) {
+    let model = tiny_cnn(1);
+    let input = random_input(model.input_shape, model.input_quant, 2);
+    c.bench_function("functional/tiny_cnn_end_to_end", |b| {
+        b.iter(|| functional::run_model(&model, &input).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_functional_conv, bench_functional_tiny_cnn);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks of the deterministic simulators that regenerate Figures
+//! 13-16 and Tables III-IV: full-network timing evaluation, the mapping
+//! planner, the batching sweep and the energy model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_dnn::inception::inception_v3;
+use neural_cache::{energy_of, plan_model, time_batch, time_inference, SystemConfig};
+
+fn bench_timing(c: &mut Criterion) {
+    let model = inception_v3();
+    let mut g = c.benchmark_group("timing/inception_v3");
+    for mb in [35usize, 45, 60] {
+        let config = SystemConfig::with_capacity_mb(mb);
+        g.bench_with_input(BenchmarkId::new("capacity_mb", mb), &config, |b, cfg| {
+            b.iter(|| time_inference(cfg, &model));
+        });
+    }
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let model = inception_v3();
+    let config = SystemConfig::xeon_e5_2697_v3();
+    c.bench_function("mapping/plan_inception_v3", |b| {
+        b.iter(|| plan_model(&model, &config.geometry));
+    });
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let model = inception_v3();
+    let config = SystemConfig::xeon_e5_2697_v3();
+    let mut g = c.benchmark_group("batching");
+    for batch in [1usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &n| {
+            b.iter(|| time_batch(&config, &model, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let model = inception_v3();
+    let config = SystemConfig::xeon_e5_2697_v3();
+    let report = time_inference(&config, &model);
+    c.bench_function("energy/inception_v3", |b| {
+        b.iter(|| energy_of(&config, &report));
+    });
+}
+
+criterion_group!(benches, bench_timing, bench_planner, bench_batching, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `nc_bench::fig12`.
+fn main() {
+    print!("{}", nc_bench::fig12());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `nc_bench::headlines`.
+fn main() {
+    print!("{}", nc_bench::headlines());
+}

@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+fn main() {
+    for (title, text) in [
+        ("== Table I ==", nc_bench::table1()),
+        ("== Table II ==", nc_bench::table2()),
+        ("== Table III ==", nc_bench::table3()),
+        ("== Table IV ==", nc_bench::table4()),
+        ("== Figure 2 ==", nc_bench::fig2()),
+        ("== Figures 4-6 ==", nc_bench::fig4_6()),
+        ("== Figure 12 ==", nc_bench::fig12()),
+        ("== Figure 13 ==", nc_bench::fig13()),
+        ("== Figure 14 ==", nc_bench::fig14()),
+        ("== Figure 15 ==", nc_bench::fig15()),
+        ("== Figure 16 ==", nc_bench::fig16()),
+        ("== Headlines ==", nc_bench::headlines()),
+    ] {
+        println!("{title}");
+        println!("{text}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Sparsity extension analysis; see `nc_bench::sparsity`.
+fn main() {
+    print!("{}", nc_bench::sparsity());
+}

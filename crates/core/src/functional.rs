@@ -1,0 +1,969 @@
+//! The bit-accurate functional executor: runs quantized inference on real
+//! simulated [`ComputeArray`]s using the bit-serial operations of
+//! Sections III and IV-D, and must match the [`nc_dnn::reference`] golden
+//! executor **bit for bit** (the paper's trace-matching validation,
+//! Section V; DESIGN.md §4/S19).
+//!
+//! ## Staging
+//!
+//! One layer executes as three in-cache passes, each of which fits the
+//! 256-row budget of an 8KB array:
+//!
+//! 1. **MAC + reduce** — filters/inputs stream tap-by-tap into 8-row byte
+//!    regions; bit-serial multiply accumulates the per-lane partial sum
+//!    (`S1`) and the zero-point-correction running sum (`S2`); the grouped
+//!    in-array reduction tree (and, for filters spanning two arrays, an
+//!    inter-array transfer + add) collapses channels.
+//! 2. **Accumulator assembly** — `ACC = S1 - zp_w*S2 + C0(m)` via scalar
+//!    multiply and region subtract/add over 40-bit two's-complement
+//!    operands, then the MSB-masked ReLU.
+//! 3. **Requantization** — subtract the layer minimum, scalar-multiply by
+//!    the CPU-provided multiplier, shift by row re-addressing, saturate.
+//!
+//! Between passes the executor re-stages values into fresh arrays (in
+//! hardware they stay put and the quantization temporaries overlay the
+//! spent MAC regions); the arithmetic performed is identical, and every
+//! step is a genuine `nc-sram` micro-op sequence.
+
+use std::error::Error;
+use std::fmt;
+
+use nc_dnn::quant::{branch_requantizer, conv_requant_plan, shared_out_quant, CodeRequant};
+use nc_dnn::reference::SublayerRecord;
+use nc_dnn::{
+    pad_before, ActQuant, Branch, BranchOp, Conv2d, Layer, MixedBlock, Model, PoolKind, QTensor,
+    Requantizer, Shape,
+};
+use nc_sram::ops::copy_lanes_between;
+use nc_sram::{ComputeArray, CycleStats, Operand, SramError, COLS};
+
+/// Result of a functional (bit-accurate) model execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalResult {
+    /// Final output tensor.
+    pub output: QTensor,
+    /// Requantization records of every convolution sub-layer, comparable
+    /// with the reference executor's records.
+    pub sublayers: Vec<SublayerRecord>,
+    /// Total array cycles consumed by the in-cache operations.
+    pub cycles: CycleStats,
+}
+
+/// Errors of the functional executor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FunctionalError {
+    /// A convolution sub-layer has no weights (shape-only model).
+    MissingWeights {
+        /// Offending sub-layer.
+        name: String,
+    },
+    /// An underlying SRAM operation was rejected.
+    Sram(SramError),
+}
+
+impl fmt::Display for FunctionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalError::MissingWeights { name } => {
+                write!(f, "sub-layer {name} has no weights; build the model with weights")
+            }
+            FunctionalError::Sram(e) => write!(f, "sram operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for FunctionalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FunctionalError::Sram(e) => Some(e),
+            FunctionalError::MissingWeights { .. } => None,
+        }
+    }
+}
+
+impl From<SramError> for FunctionalError {
+    fn from(e: SramError) -> Self {
+        FunctionalError::Sram(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, FunctionalError>;
+
+/// Runs the whole model bit-accurately on simulated compute arrays.
+///
+/// # Errors
+///
+/// Fails if any convolution sub-layer lacks weights.
+pub fn run_model(model: &Model, input: &QTensor) -> Result<FunctionalResult> {
+    assert_eq!(input.shape(), model.input_shape, "input shape mismatch");
+    let mut exec = Exec::default();
+    let mut cur = input.clone();
+    let mut sublayers = Vec::new();
+    for layer in &model.layers {
+        let out = exec.run_layer(layer, &cur, &mut sublayers)?;
+        cur = out;
+    }
+    Ok(FunctionalResult {
+        output: cur,
+        sublayers,
+        cycles: exec.cycles,
+    })
+}
+
+#[derive(Default)]
+struct Exec {
+    cycles: CycleStats,
+}
+
+/// A branch's final output awaiting the block-shared range.
+enum Pending {
+    Acc(AccChunk, f64, String),
+    Codes(QTensor),
+}
+
+/// Host-side staging of a sub-layer's in-cache accumulators between passes,
+/// with the layer range already computed by the in-cache min/max trees.
+struct AccChunk {
+    shape: Shape,
+    values: Vec<i64>,
+    min: i64,
+    max: i64,
+}
+
+impl AccChunk {
+    fn min_max(&self) -> (i64, i64) {
+        (self.min, self.max)
+    }
+}
+
+impl Exec {
+    fn run_layer(
+        &mut self,
+        layer: &Layer,
+        input: &QTensor,
+        records: &mut Vec<SublayerRecord>,
+    ) -> Result<QTensor> {
+        match layer {
+            Layer::Conv(conv) => {
+                let acc = self.conv_accumulate(conv, input)?;
+                let scale = conv.w_quant.scale * input.params().scale;
+                let (acc_min, acc_max) = acc.min_max();
+                let (requant, out_quant) = conv_requant_plan(acc_min, acc_max, scale);
+                let out = self.requantize(&acc, requant, out_quant)?;
+                records.push(SublayerRecord {
+                    name: conv.spec.name.clone(),
+                    acc_min,
+                    acc_max,
+                    requant,
+                    out_quant,
+                });
+                Ok(out)
+            }
+            Layer::Pool(pool) => self.pool(pool, input),
+            Layer::Mixed(block) => self.mixed(block, input, records),
+        }
+    }
+
+    fn mixed(
+        &mut self,
+        block: &MixedBlock,
+        input: &QTensor,
+        records: &mut Vec<SublayerRecord>,
+    ) -> Result<QTensor> {
+        let mut pending = Vec::new();
+        for branch in &block.branches {
+            self.run_branch(branch, input, records, &mut pending)?;
+        }
+
+        // Block-wide real range (in hardware: per-array min/max trees plus
+        // a bus/ring reduction; the CPU then derives the scalars).
+        let mut r_min = f64::INFINITY;
+        let mut r_max = f64::NEG_INFINITY;
+        for p in &pending {
+            match p {
+                Pending::Acc(acc, scale, _) => {
+                    let (lo, hi) = acc.min_max();
+                    r_min = r_min.min(lo as f64 * scale);
+                    r_max = r_max.max(hi as f64 * scale);
+                }
+                Pending::Codes(t) => {
+                    let (mut lo, mut hi) = (u8::MAX, u8::MIN);
+                    for &q in t.data() {
+                        lo = lo.min(q);
+                        hi = hi.max(q);
+                    }
+                    r_min = r_min.min(t.params().dequantize(lo));
+                    r_max = r_max.max(t.params().dequantize(hi));
+                }
+            }
+        }
+        let out_quant = shared_out_quant(r_min, r_max);
+
+        let mut parts = Vec::with_capacity(pending.len());
+        for p in pending {
+            match p {
+                Pending::Acc(acc, scale, name) => {
+                    let requant = branch_requantizer(r_min, r_max, scale);
+                    let (acc_min, acc_max) = acc.min_max();
+                    let out = self.requantize(&acc, requant, out_quant)?;
+                    if let Some(rec) = records.iter_mut().rev().find(|r| r.name == name) {
+                        rec.requant = requant;
+                        rec.out_quant = out_quant;
+                        rec.acc_min = acc_min;
+                        rec.acc_max = acc_max;
+                    }
+                    parts.push(out);
+                }
+                Pending::Codes(t) => {
+                    let map = CodeRequant::between(t.params(), out_quant);
+                    parts.push(self.code_requant(&t, map, out_quant)?);
+                }
+            }
+        }
+        Ok(concat_channels(&parts, out_quant))
+    }
+
+    fn run_branch(
+        &mut self,
+        branch: &Branch,
+        input: &QTensor,
+        records: &mut Vec<SublayerRecord>,
+        pending: &mut Vec<Pending>,
+    ) -> Result<()> {
+        let mut cur = input.clone();
+        let last = branch.ops.len() - 1;
+        for (i, op) in branch.ops.iter().enumerate() {
+            match op {
+                BranchOp::Pool(p) => {
+                    let out = self.pool(p, &cur)?;
+                    if i == last {
+                        pending.push(Pending::Codes(out));
+                        return Ok(());
+                    }
+                    cur = out;
+                }
+                BranchOp::Conv(c) => {
+                    if i == last {
+                        self.pend_conv(c, &cur, records, pending)?;
+                        return Ok(());
+                    }
+                    let acc = self.conv_accumulate(c, &cur)?;
+                    let scale = c.w_quant.scale * cur.params().scale;
+                    let (acc_min, acc_max) = acc.min_max();
+                    let (requant, out_quant) = conv_requant_plan(acc_min, acc_max, scale);
+                    let out = self.requantize(&acc, requant, out_quant)?;
+                    records.push(SublayerRecord {
+                        name: c.spec.name.clone(),
+                        acc_min,
+                        acc_max,
+                        requant,
+                        out_quant,
+                    });
+                    cur = out;
+                }
+                BranchOp::Split(convs) => {
+                    for c in convs {
+                        self.pend_conv(c, &cur, records, pending)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        unreachable!("branch has at least one op");
+    }
+
+    fn pend_conv(
+        &mut self,
+        c: &Conv2d,
+        input: &QTensor,
+        records: &mut Vec<SublayerRecord>,
+        pending: &mut Vec<Pending>,
+    ) -> Result<()> {
+        let acc = self.conv_accumulate(c, input)?;
+        let scale = c.w_quant.scale * input.params().scale;
+        let (acc_min, acc_max) = acc.min_max();
+        let (requant, out_quant) = conv_requant_plan(acc_min, acc_max, scale);
+        records.push(SublayerRecord {
+            name: c.spec.name.clone(),
+            acc_min,
+            acc_max,
+            requant,
+            out_quant,
+        });
+        pending.push(Pending::Acc(acc, scale, c.spec.name.clone()));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 1: MACs + grouped channel reduction
+    // ------------------------------------------------------------------
+
+    /// Computes the (ReLU'd, when fused) integer accumulators of one
+    /// convolution sub-layer entirely with bit-serial array operations.
+    fn conv_accumulate(&mut self, conv: &Conv2d, input: &QTensor) -> Result<AccChunk> {
+        let spec = &conv.spec;
+        if conv.weights.is_none() {
+            return Err(FunctionalError::MissingWeights {
+                name: spec.name.clone(),
+            });
+        }
+        let in_shape = input.shape();
+        let out_shape = spec.out_shape(in_shape);
+        let zp_a = i64::from(input.params().zero_point);
+        let zp_w = u64::from(conv.w_quant.zero_point as u32);
+        let n_taps = spec.macs_per_output() as i64;
+        let pad_y = pad_before(in_shape.h, spec.r, spec.stride, spec.padding) as isize;
+        let pad_x = pad_before(in_shape.w, spec.s, spec.stride, spec.padding) as isize;
+
+        // Lane geometry (Section IV-A packing/splitting, as planned by the
+        // mapper).
+        let window = spec.window();
+        let (packing, split) = if window == 1 {
+            (crate::mapping::PACK_FACTOR.min(spec.c), 1)
+        } else if window > crate::mapping::SPLIT_THRESHOLD {
+            (1, window.div_ceil(crate::mapping::SPLIT_THRESHOLD))
+        } else {
+            (1, 1)
+        };
+        let eff_window = if packing > 1 {
+            packing
+        } else {
+            window.div_ceil(split)
+        };
+        let eff_channels = if packing > 1 {
+            spec.c.div_ceil(packing)
+        } else {
+            spec.c * split
+        };
+        let lanes_per_filter = eff_channels.next_power_of_two();
+
+        // Per-filter static data: lane-chunked weight bytes, code sums and
+        // the per-channel constant C0.
+        let filter_lanes: Vec<Vec<Vec<u8>>> = (0..spec.m)
+            .map(|m| chunk_filter(conv, m, packing, split, eff_window))
+            .collect();
+        let c0: Vec<i64> = (0..spec.m)
+            .map(|m| {
+                -zp_a * conv.filter_code_sum(m) + n_taps * (zp_w as i64) * zp_a + conv.bias_of(m)
+            })
+            .collect();
+
+        let group_span = lanes_per_filter.min(COLS);
+        let arrays_per_filter = lanes_per_filter.div_ceil(COLS);
+        let groups_per_array = if arrays_per_filter == 1 {
+            (COLS / lanes_per_filter).min(spec.m).max(1)
+        } else {
+            1
+        };
+
+        let mut acc_values = vec![0i64; out_shape.len()];
+        let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
+
+        for ey in 0..out_shape.h {
+            for ex in 0..out_shape.w {
+                gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
+                let input_lanes = chunk_bytes(&window_bytes, packing, split, eff_window, spec.c);
+
+                let mut m = 0;
+                while m < spec.m {
+                    let group_count = groups_per_array.min(spec.m - m);
+                    let (s1s, s2s) = self.mac_reduce_run(
+                        &filter_lanes[m..m + group_count],
+                        &input_lanes,
+                        eff_window,
+                        group_span,
+                        arrays_per_filter,
+                    )?;
+                    for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
+                        // Pass 2: ACC assembly + fused ReLU, in-cache.
+                        let acc_val = self.assemble_acc(
+                            *s1,
+                            *s2,
+                            zp_w,
+                            c0[m + g],
+                            spec.relu,
+                        )?;
+                        acc_values[out_shape.index(ey, ex, m + g)] = acc_val;
+                    }
+                    m += group_count;
+                }
+            }
+        }
+
+        // Dynamic ranging (Section IV-D): per-array min/max trees, combined
+        // across arrays and slices by bus+ring transfers (host-combined
+        // here, exactly like the paper's per-array results).
+        let (min, max) = self.min_max_in_cache(&acc_values)?;
+        debug_assert_eq!(
+            (min, max),
+            (
+                acc_values.iter().copied().min().unwrap_or(0),
+                acc_values.iter().copied().max().unwrap_or(0)
+            ),
+            "in-cache ranging must agree with a host scan"
+        );
+        Ok(AccChunk {
+            shape: out_shape,
+            values: acc_values,
+            min,
+            max,
+        })
+    }
+
+    /// In-cache dynamic ranging: accumulator values are loaded with a 2^38
+    /// offset (so two's-complement order matches unsigned order) and
+    /// reduced by the in-array min/max trees of Section IV-D; per-chunk
+    /// results combine like per-array results do over the bus and ring.
+    fn min_max_in_cache(&mut self, values: &[i64]) -> Result<(i64, i64)> {
+        const W: usize = 40;
+        const OFFSET: i64 = 1 << 38; // |ACC| < 2^38 stays positive
+        let v = Operand::new(0, W)?;
+        let scratch = Operand::new(40, W)?;
+        let cmp = Operand::new(80, W)?;
+        const DUMP: usize = 250;
+
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for chunk in values.chunks(COLS) {
+            for want_max in [false, true] {
+                let mut arr = ComputeArray::with_zero_row(255)?;
+                for lane in 0..COLS {
+                    // Idle lanes replicate the first value (neutral for
+                    // both reductions).
+                    let val = chunk.get(lane).copied().unwrap_or(chunk[0]);
+                    arr.poke_lane(lane, v, (val + OFFSET) as u64);
+                }
+                if want_max {
+                    self.cycles += arr.reduce_max(v, scratch, cmp, DUMP, COLS)?;
+                    max = max.max(arr.peek_lane(0, v) as i64 - OFFSET);
+                } else {
+                    self.cycles += arr.reduce_min(v, scratch, cmp, DUMP, COLS)?;
+                    min = min.min(arr.peek_lane(0, v) as i64 - OFFSET);
+                }
+            }
+        }
+        Ok((min, max))
+    }
+
+    /// One MAC+reduce run: `groups` filters (or one filter spanning
+    /// `arrays_per_filter` arrays) against one input window.
+    fn mac_reduce_run(
+        &mut self,
+        filters: &[Vec<Vec<u8>>],
+        input_lanes: &[Vec<u8>],
+        eff_window: usize,
+        group_span: usize,
+        arrays_per_filter: usize,
+    ) -> Result<(Vec<u64>, Vec<u64>)> {
+        // Row layout of the pass-1 array (all regions disjoint, 202 rows).
+        let filter_byte = Operand::new(0, 8)?;
+        let input_byte = Operand::new(8, 8)?;
+        let scratch16 = Operand::new(16, 16)?;
+        let partial = Operand::new(32, 24)?;
+        let s2sum = Operand::new(56, 16)?;
+        let seg_a = Operand::new(72, 32)?;
+        let seg_b = Operand::new(104, 32)?;
+        let s2_a = Operand::new(136, 32)?;
+        let s2_b = Operand::new(168, 32)?;
+        const ZERO_ROW: usize = 255;
+
+        let groups = filters.len();
+        let mut partial_arrays = Vec::with_capacity(arrays_per_filter);
+
+        for array_idx in 0..arrays_per_filter {
+            let mut arr = ComputeArray::with_zero_row(ZERO_ROW)?;
+            self.cycles += arr.zero(partial)? + arr.zero(s2sum)?;
+
+            // Lane slice handled by this array.
+            let lane_base = array_idx * COLS;
+
+            for t in 0..eff_window {
+                // Stream tap t of the filter and input bytes (loader path;
+                // transfer time is the movement model's concern).
+                for (g, chunks) in filters.iter().enumerate() {
+                    for l in 0..group_span {
+                        let lane = g * group_span + l;
+                        let byte = chunks
+                            .get(lane_base + l)
+                            .map_or(0, |c| c[t]);
+                        arr.poke_lane(lane, filter_byte, u64::from(byte));
+                    }
+                }
+                for l in 0..group_span {
+                    let byte = input_lanes.get(lane_base + l).map_or(0, |c| c[t]);
+                    for g in 0..groups {
+                        arr.poke_lane(g * group_span + l, input_byte, u64::from(byte));
+                    }
+                }
+                // S1 += w * x ; S2 += x — all lanes in parallel.
+                self.cycles += arr.mul(filter_byte, input_byte, scratch16)?;
+                self.cycles += arr.add_assign(partial, scratch16)?;
+                self.cycles += arr.add_assign(s2sum, input_byte)?;
+            }
+
+            // Widen into the 4-byte reduction segments (Figure 10b).
+            self.cycles += arr.copy_zext(partial, seg_a)?;
+            self.cycles += arr.copy_zext(s2sum, s2_a)?;
+            // Grouped in-array channel reduction.
+            self.cycles += arr.reduce_sum_grouped(seg_a, seg_b, group_span, groups)?;
+            self.cycles += arr.reduce_sum_grouped(s2_a, s2_b, group_span, groups)?;
+            partial_arrays.push(arr);
+        }
+
+        // Cross-array fold (filters spanning two arrays share sense amps,
+        // Section III-D): transfer partner sums into array 0 and add.
+        let (first, rest) = partial_arrays.split_at_mut(1);
+        let arr0 = &mut first[0];
+        for partner in rest.iter_mut() {
+            self.cycles += copy_lanes_between(partner, seg_a, arr0, seg_b, 0, 1)?;
+            self.cycles += arr0.add_assign(seg_a, seg_b)?;
+            self.cycles += copy_lanes_between(partner, s2_a, arr0, s2_b, 0, 1)?;
+            self.cycles += arr0.add_assign(s2_a, s2_b)?;
+        }
+
+        let mut s1s = Vec::with_capacity(groups);
+        let mut s2s = Vec::with_capacity(groups);
+        for g in 0..groups {
+            s1s.push(arr0.peek_lane(g * group_span, seg_a));
+            s2s.push(arr0.peek_lane(g * group_span, s2_a));
+        }
+        Ok((s1s, s2s))
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: accumulator assembly + ReLU
+    // ------------------------------------------------------------------
+
+    /// Assembles `ACC = S1 - zp_w*S2 + C0` in a 40-bit two's-complement
+    /// region and applies the MSB-masked ReLU when fused.
+    fn assemble_acc(
+        &mut self,
+        s1: u64,
+        s2: u64,
+        zp_w: u64,
+        c0: i64,
+        relu: bool,
+    ) -> Result<i64> {
+        const W: usize = 40;
+        let s1_op = Operand::new(0, 32)?;
+        let s2_op = Operand::new(32, 32)?;
+        let t = Operand::new(64, W)?;
+        let u = Operand::new(104, W)?;
+        let scratch = Operand::new(144, W)?;
+        let c0_op = Operand::new(184, W)?;
+        let mut arr = ComputeArray::with_zero_row(255)?;
+
+        arr.poke_lane(0, s1_op, s1);
+        arr.poke_lane(0, s2_op, s2);
+        arr.poke_lane_signed(0, c0_op, clamp_to_bits(c0, W));
+
+        self.cycles += arr.copy_zext(s1_op, t)?;
+        self.cycles += arr.mul_scalar(s2_op, zp_w, u)?;
+        self.cycles += arr.sub(t, u, t, scratch)?;
+        self.cycles += arr.add_assign(t, c0_op)?;
+        if relu {
+            self.cycles += arr.relu(t)?;
+        }
+        Ok(arr.peek_lane_signed(0, t))
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 3: requantization
+    // ------------------------------------------------------------------
+
+    /// Requantizes a chunk of accumulators in-cache: subtract the layer
+    /// minimum, ReLU-clamp, scalar multiply, shift by row re-addressing,
+    /// saturate at 255. Processes up to 256 outputs per array run.
+    fn requantize(
+        &mut self,
+        acc: &AccChunk,
+        requant: Requantizer,
+        out_quant: ActQuant,
+    ) -> Result<QTensor> {
+        let d_op = Operand::new(0, 40)?;
+        let d32 = d_op.slice(0, 32)?;
+        let prod = Operand::new(40, 48)?;
+        const DUMP: usize = 250;
+
+        let mut out = vec![0u8; acc.values.len()];
+        for (chunk_idx, chunk) in acc.values.chunks(COLS).enumerate() {
+            let mut arr = ComputeArray::with_zero_row(255)?;
+            for (lane, &v) in chunk.iter().enumerate() {
+                arr.poke_lane_signed(lane, d_op, clamp_to_bits(v, 40));
+            }
+            // D = max(ACC - acc_min, 0).
+            self.cycles += arr.add_scalar_signed(d_op, -requant.acc_min)?;
+            self.cycles += arr.relu(d_op)?;
+            // P = D * M; q = min(P >> SH, 255).
+            self.cycles += arr.mul_scalar(d32, u64::from(requant.multiplier), prod)?;
+            let shifted = prod.slice(requant.shift as usize, 16)?;
+            self.cycles += arr.clamp_max_scalar(shifted, 255, DUMP)?;
+            let q_op = shifted.slice(0, 8)?;
+            for lane in 0..chunk.len() {
+                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, q_op) as u8;
+            }
+        }
+        Ok(QTensor::from_vec(acc.shape, out_quant, out))
+    }
+
+    /// In-cache code-to-code requantization of a pool-final branch
+    /// (`q' = clamp((q*m + c) >> sh)`, Section IV-D batch-norm style
+    /// multiply/add/shift).
+    fn code_requant(
+        &mut self,
+        t: &QTensor,
+        map: CodeRequant,
+        out_quant: ActQuant,
+    ) -> Result<QTensor> {
+        let q_in = Operand::new(0, 8)?;
+        let prod = Operand::new(8, 48)?;
+        let shape = t.shape();
+        let mut out = vec![0u8; shape.len()];
+        let m_abs = map.m.unsigned_abs();
+        for (chunk_idx, chunk) in t.data().chunks(COLS).enumerate() {
+            let mut arr = ComputeArray::with_zero_row(255)?;
+            for (lane, &q) in chunk.iter().enumerate() {
+                arr.poke_lane(lane, q_in, u64::from(q));
+            }
+            self.cycles += arr.mul_scalar(q_in, m_abs, prod)?;
+            // m is non-negative for real scale ratios; fold c (possibly
+            // negative) as a two's-complement scalar add.
+            self.cycles += arr.add_scalar_signed(prod, map.c)?;
+            self.cycles += arr.relu(prod)?;
+            let shifted = prod.slice(map.sh as usize, 16)?;
+            self.cycles += arr.clamp_max_scalar(shifted, 255, 250)?;
+            let q_op = shifted.slice(0, 8)?;
+            for lane in 0..chunk.len() {
+                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, q_op) as u8;
+            }
+        }
+        Ok(QTensor::from_vec(shape, out_quant, out))
+    }
+
+    // ------------------------------------------------------------------
+    // Pooling (Section IV-D)
+    // ------------------------------------------------------------------
+
+    fn pool(&mut self, pool: &nc_dnn::Pool2d, input: &QTensor) -> Result<QTensor> {
+        let in_shape = input.shape();
+        let out_shape = pool.out_shape(in_shape);
+        let pad_y = pad_before(in_shape.h, pool.k, pool.stride, pool.padding) as isize;
+        let pad_x = pad_before(in_shape.w, pool.k, pool.stride, pool.padding) as isize;
+
+        // Collect each output's valid window elements (one output per lane).
+        let total = out_shape.len();
+        let mut windows: Vec<Vec<u8>> = Vec::with_capacity(total);
+        for ey in 0..out_shape.h {
+            for ex in 0..out_shape.w {
+                for c in 0..out_shape.c {
+                    let oy = (ey * pool.stride) as isize - pad_y;
+                    let ox = (ex * pool.stride) as isize - pad_x;
+                    let mut w = Vec::with_capacity(pool.k * pool.k);
+                    for r in 0..pool.k {
+                        for s in 0..pool.k {
+                            let (y, x) = (oy + r as isize, ox + s as isize);
+                            if y >= 0
+                                && x >= 0
+                                && (y as usize) < in_shape.h
+                                && (x as usize) < in_shape.w
+                            {
+                                w.push(input.get(y as usize, x as usize, c));
+                            }
+                        }
+                    }
+                    windows.push(w);
+                }
+            }
+        }
+
+        let mut out = vec![0u8; total];
+        match pool.kind {
+            PoolKind::Max => self.pool_max(&windows, &mut out)?,
+            PoolKind::Avg => self.pool_avg(&windows, &mut out)?,
+        }
+        Ok(QTensor::from_vec(out_shape, input.params(), out))
+    }
+
+    /// Max pooling: running max via subtract / MSB mask / selective copy.
+    fn pool_max(&mut self, windows: &[Vec<u8>], out: &mut [u8]) -> Result<()> {
+        let acc = Operand::new(0, 8)?;
+        let x = Operand::new(8, 8)?;
+        let scratch = Operand::new(16, 8)?;
+        const DUMP: usize = 250;
+        let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
+
+        for (chunk_idx, chunk) in windows.chunks(COLS).enumerate() {
+            let mut arr = ComputeArray::with_zero_row(255)?;
+            for (lane, w) in chunk.iter().enumerate() {
+                arr.poke_lane(lane, acc, u64::from(w[0]));
+            }
+            for i in 1..max_window {
+                for (lane, w) in chunk.iter().enumerate() {
+                    // Short windows (image edges) repeat their first
+                    // element, which is a no-op for max.
+                    let v = w.get(i).copied().unwrap_or(w[0]);
+                    arr.poke_lane(lane, x, u64::from(v));
+                }
+                self.cycles += arr.max_assign(acc, x, scratch, DUMP)?;
+            }
+            for lane in 0..chunk.len() {
+                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, acc) as u8;
+            }
+        }
+        Ok(())
+    }
+
+    /// Average pooling: bit-serial window sum, then lane-wise restoring
+    /// division by the per-lane valid-element count.
+    fn pool_avg(&mut self, windows: &[Vec<u8>], out: &mut [u8]) -> Result<()> {
+        let x = Operand::new(0, 8)?;
+        let sum = Operand::new(8, 16)?;
+        let den = Operand::new(24, 8)?;
+        let quot = Operand::new(32, 16)?;
+        let rem = Operand::new(48, 9)?;
+        let trial = Operand::new(57, 9)?;
+        let notden = Operand::new(66, 9)?;
+        let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
+
+        for (chunk_idx, chunk) in windows.chunks(COLS).enumerate() {
+            let mut arr = ComputeArray::with_zero_row(255)?;
+            self.cycles += arr.zero(sum)?;
+            for i in 0..max_window {
+                for (lane, w) in chunk.iter().enumerate() {
+                    let v = w.get(i).copied().unwrap_or(0);
+                    arr.poke_lane(lane, x, u64::from(v));
+                }
+                self.cycles += arr.add_assign(sum, x)?;
+            }
+            for (lane, w) in chunk.iter().enumerate() {
+                arr.poke_lane(lane, den, w.len() as u64);
+            }
+            self.cycles += arr.div(sum, den, quot, rem, trial, notden)?;
+            for lane in 0..chunk.len() {
+                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, quot.slice(0, 8)?) as u8;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lane chunking helpers (Section IV-A layout algebra)
+// ----------------------------------------------------------------------
+
+/// Chunks filter `m`'s bytes into per-lane byte vectors of `eff_window`
+/// bytes (packing compresses channels; splitting spreads large windows).
+fn chunk_filter(
+    conv: &Conv2d,
+    m: usize,
+    packing: usize,
+    split: usize,
+    eff_window: usize,
+) -> Vec<Vec<u8>> {
+    let spec = &conv.spec;
+    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(spec.window()); spec.c];
+    for r in 0..spec.r {
+        for s in 0..spec.s {
+            for (c, bytes) in per_channel.iter_mut().enumerate() {
+                bytes.push(conv.weight(m, r, s, c));
+            }
+        }
+    }
+    chunk_channel_major(&per_channel, packing, split, eff_window)
+}
+
+/// Gathers one padded input window in the same (r, s, c) order as the
+/// reference executor, then regroups it channel-major for lane chunking.
+fn gather_window(
+    input: &QTensor,
+    spec: &nc_dnn::ConvSpec,
+    ey: usize,
+    ex: usize,
+    pad_y: isize,
+    pad_x: isize,
+    out: &mut [u8],
+) {
+    let oy = (ey * spec.stride) as isize - pad_y;
+    let ox = (ex * spec.stride) as isize - pad_x;
+    let mut idx = 0;
+    for r in 0..spec.r {
+        for s in 0..spec.s {
+            for c in 0..spec.c {
+                out[idx] = input.get_padded(oy + r as isize, ox + s as isize, c);
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Regroups an `(r, s, c)`-ordered window into per-lane chunks matching
+/// [`chunk_filter`].
+fn chunk_bytes(
+    window: &[u8],
+    packing: usize,
+    split: usize,
+    eff_window: usize,
+    channels: usize,
+) -> Vec<Vec<u8>> {
+    let taps = window.len() / channels;
+    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(taps); channels];
+    for (i, &b) in window.iter().enumerate() {
+        per_channel[i % channels].push(b);
+    }
+    chunk_channel_major(&per_channel, packing, split, eff_window)
+}
+
+/// The shared chunking rule: packing places `packing` consecutive channels'
+/// single bytes on one lane; splitting spreads one channel's window across
+/// `split` lanes of `eff_window` bytes (zero-padded).
+fn chunk_channel_major(
+    per_channel: &[Vec<u8>],
+    packing: usize,
+    split: usize,
+    eff_window: usize,
+) -> Vec<Vec<u8>> {
+    let mut lanes = Vec::new();
+    if packing > 1 {
+        for group in per_channel.chunks(packing) {
+            let mut lane = Vec::with_capacity(eff_window);
+            for ch in group {
+                lane.push(ch[0]);
+            }
+            lane.resize(eff_window, 0);
+            lanes.push(lane);
+        }
+    } else {
+        for ch in per_channel {
+            for piece in 0..split {
+                let mut lane: Vec<u8> = ch
+                    .iter()
+                    .copied()
+                    .skip(piece * eff_window)
+                    .take(eff_window)
+                    .collect();
+                lane.resize(eff_window, 0);
+                lanes.push(lane);
+            }
+        }
+    }
+    lanes
+}
+
+fn clamp_to_bits(v: i64, bits: usize) -> i64 {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    debug_assert!((lo..=hi).contains(&v), "{v} exceeds {bits}-bit two's complement");
+    v.clamp(lo, hi)
+}
+
+fn concat_channels(parts: &[QTensor], params: ActQuant) -> QTensor {
+    let (h, w) = (parts[0].shape().h, parts[0].shape().w);
+    let total_c: usize = parts.iter().map(|p| p.shape().c).sum();
+    QTensor::from_fn(Shape::new(h, w, total_c), params, |y, x, c| {
+        let mut offset = 0;
+        for p in parts {
+            let pc = p.shape().c;
+            if c < offset + pc {
+                return p.get(y, x, c - offset);
+            }
+            offset += pc;
+        }
+        unreachable!("channel {c} out of range");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::reference;
+    use nc_dnn::workload::{random_conv, random_input, single_conv_model, tiny_cnn};
+    use nc_dnn::Padding;
+
+    fn check_model(model: &Model, input_seed: u64) {
+        let input = random_input(model.input_shape, model.input_quant, input_seed);
+        let golden = reference::run_model(model, &input);
+        let ours = run_model(model, &input).expect("functional run");
+        assert_eq!(
+            ours.output.data(),
+            golden.output.data(),
+            "functional output differs from the golden executor"
+        );
+        let golden_recs: Vec<&SublayerRecord> =
+            golden.layers.iter().flat_map(|l| &l.sublayers).collect();
+        assert_eq!(ours.sublayers.len(), golden_recs.len());
+        for (a, b) in ours.sublayers.iter().zip(golden_recs) {
+            assert_eq!(a, b, "sub-layer record mismatch for {}", a.name);
+        }
+        assert!(ours.cycles.compute_cycles > 0);
+    }
+
+    #[test]
+    fn single_3x3_conv_matches_reference() {
+        let conv = random_conv("c", (3, 3), 4, 3, 1, Padding::Same, true, 11);
+        let model = single_conv_model(conv, Shape::new(6, 6, 4));
+        check_model(&model, 21);
+    }
+
+    #[test]
+    fn strided_valid_conv_matches_reference() {
+        let conv = random_conv("c", (3, 3), 3, 5, 2, Padding::Valid, true, 12);
+        let model = single_conv_model(conv, Shape::new(9, 9, 3));
+        check_model(&model, 22);
+    }
+
+    #[test]
+    fn one_by_one_conv_with_packing_matches_reference() {
+        // C = 40 > 16 forces real packing (3 lanes per filter).
+        let conv = random_conv("c", (1, 1), 40, 4, 1, Padding::Valid, true, 13);
+        let model = single_conv_model(conv, Shape::new(3, 3, 40));
+        check_model(&model, 23);
+    }
+
+    #[test]
+    fn five_by_five_conv_with_splitting_matches_reference() {
+        let conv = random_conv("c", (5, 5), 3, 2, 1, Padding::Same, true, 14);
+        let model = single_conv_model(conv, Shape::new(7, 7, 3));
+        check_model(&model, 24);
+    }
+
+    #[test]
+    fn asymmetric_kernels_match_reference() {
+        let conv = random_conv("c", (1, 7), 8, 3, 1, Padding::Same, true, 15);
+        let model = single_conv_model(conv, Shape::new(8, 8, 8));
+        check_model(&model, 25);
+        let conv = random_conv("c", (7, 1), 8, 3, 1, Padding::Same, true, 16);
+        let model = single_conv_model(conv, Shape::new(8, 8, 8));
+        check_model(&model, 26);
+    }
+
+    #[test]
+    fn conv_without_relu_matches_reference() {
+        let conv = random_conv("c", (1, 1), 6, 10, 1, Padding::Valid, false, 17);
+        let model = single_conv_model(conv, Shape::new(1, 1, 6));
+        check_model(&model, 27);
+    }
+
+    #[test]
+    fn cross_array_filter_matches_reference() {
+        // C = 300 -> 512 lanes per filter: spans two arrays, exercising the
+        // inter-array reduction fold.
+        let conv = random_conv("c", (3, 3), 300, 2, 1, Padding::Valid, true, 18);
+        let model = single_conv_model(conv, Shape::new(3, 3, 300));
+        check_model(&model, 28);
+    }
+
+    #[test]
+    fn tiny_cnn_end_to_end_bit_exact() {
+        check_model(&tiny_cnn(5), 50);
+    }
+
+    #[test]
+    fn missing_weights_is_an_error() {
+        let model = nc_dnn::inception::inception_v3();
+        let input = random_input(model.input_shape, model.input_quant, 0);
+        let err = run_model(&model, &input).unwrap_err();
+        assert!(matches!(err, FunctionalError::MissingWeights { .. }));
+        assert!(err.to_string().contains("weights"));
+    }
+}

@@ -1,0 +1,136 @@
+//! **Neural Cache**: bit-serial in-cache acceleration of deep neural
+//! networks — the core of the ISCA 2018 reproduction.
+//!
+//! This crate turns the substrates ([`nc_sram`] compute arrays,
+//! [`nc_geometry`] cache/interconnect models, [`nc_dnn`] quantized DNNs)
+//! into the paper's system:
+//!
+//! - [`mapping`]: the Section IV data layout — filter packing/splitting,
+//!   channel round-up, array allocation, slice partitioning, serial-round
+//!   scheduling;
+//! - [`timing`]: the deterministic phase-resolved timing simulator behind
+//!   Figures 13-15 and Table IV;
+//! - [`energy`]: the chip-side energy/power model behind Table III;
+//! - [`batching`]: Section IV-E batch scheduling behind Figure 16;
+//! - [`cost`]: paper-published vs micro-op-derived cycle-cost models;
+//! - [`isa`]: the Section IV-F instruction/FSM execution model;
+//! - [`functional`]: the bit-accurate executor that runs layers on real
+//!   [`nc_sram::ComputeArray`]s and must match the [`nc_dnn::reference`]
+//!   golden model bit-for-bit.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use neural_cache::{NeuralCache, SystemConfig};
+//! use nc_dnn::inception::inception_v3;
+//!
+//! let system = NeuralCache::new(SystemConfig::xeon_e5_2697_v3());
+//! let report = system.run_inference(&inception_v3());
+//! println!("Inception v3 inference: {}", report.total());
+//! let energy = system.energy(&report);
+//! println!("energy: {:.3} J at {:.1} W", energy.total_j(), energy.avg_power_w());
+//! # assert!(report.total().as_millis_f64() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batching;
+mod config;
+pub mod cost;
+pub mod energy;
+pub mod functional;
+pub mod isa;
+pub mod mapping;
+pub mod sparsity;
+pub mod timing;
+
+pub use batching::{throughput_sweep, time_batch, BatchReport};
+pub use config::SystemConfig;
+pub use cost::{CostModel, CostModelKind, DerivedCostModel, PaperCostModel};
+pub use energy::{energy_of, EnergyReport};
+pub use mapping::{plan_model, ConvMapping, LayerPlan, PoolMapping, UnitPlan};
+pub use timing::{time_inference, InferenceReport, LayerTiming, Phase, PhaseBreakdown};
+
+/// The Neural Cache system: a configured accelerator exposing the timing,
+/// energy, batching and functional execution entry points.
+#[derive(Debug, Clone, Default)]
+pub struct NeuralCache {
+    config: SystemConfig,
+}
+
+impl NeuralCache {
+    /// Creates a system from a configuration.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        NeuralCache { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Plans the data layout of every layer (Section IV-A/IV-B).
+    #[must_use]
+    pub fn plan(&self, model: &nc_dnn::Model) -> Vec<LayerPlan> {
+        plan_model(model, &self.config.geometry)
+    }
+
+    /// Times one inference (batch size 1).
+    #[must_use]
+    pub fn run_inference(&self, model: &nc_dnn::Model) -> InferenceReport {
+        time_inference(&self.config, model)
+    }
+
+    /// Times a batch of inferences (Section IV-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn run_batch(&self, model: &nc_dnn::Model, batch: usize) -> BatchReport {
+        time_batch(&self.config, model, batch)
+    }
+
+    /// Energy/power of a timed inference (Table III).
+    #[must_use]
+    pub fn energy(&self, report: &InferenceReport) -> EnergyReport {
+        energy_of(&self.config, report)
+    }
+
+    /// Runs a model bit-accurately on simulated compute arrays and returns
+    /// the output tensor (must match the [`nc_dnn::reference`] executor).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sub-layer lacks weights or an internal SRAM
+    /// operation is rejected.
+    pub fn run_functional(
+        &self,
+        model: &nc_dnn::Model,
+        input: &nc_dnn::QTensor,
+    ) -> Result<functional::FunctionalResult, functional::FunctionalError> {
+        functional::run_model(model, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::inception::inception_v3;
+
+    #[test]
+    fn system_facade_end_to_end() {
+        let system = NeuralCache::new(SystemConfig::xeon_e5_2697_v3());
+        let model = inception_v3();
+        let report = system.run_inference(&model);
+        assert_eq!(report.layers.len(), 20);
+        let energy = system.energy(&report);
+        assert!(energy.total_j() > 0.0);
+        let batch = system.run_batch(&model, 4);
+        assert!(batch.throughput_ips > 0.0);
+        assert_eq!(system.plan(&model).len(), 20);
+    }
+}

@@ -1,0 +1,605 @@
+//! The data-layout planner (Section IV-A/IV-B): filter packing and
+//! splitting, channel round-up, array allocation, and the serial-round
+//! schedule of every layer.
+//!
+//! The planner answers, for each convolution or pooling sub-layer: how many
+//! bit lines one filter occupies, how many filters fit in one 8KB array,
+//! how many filter instances the whole cache computes in parallel, and how
+//! many serial rounds the sub-layer therefore needs. The paper's worked
+//! example (Conv2D_2b: ~32K parallel convolutions, 43 serial rounds, 99.7%
+//! utilization) is reproduced by tests.
+
+use nc_dnn::{Layer, Model, PoolKind, Shape};
+use nc_geometry::CacheGeometry;
+use nc_sram::ROWS;
+
+use crate::cost::{DATA_BITS, PARTIAL_BITS, REDUCE_BITS};
+
+/// Filter-window bytes above which filters are split across bit lines
+/// (Section IV-A: "filters are split across bitlines when their size
+/// exceeds 9 bytes").
+pub const SPLIT_THRESHOLD: usize = 9;
+
+/// Channels packed per bit line for 1x1 filters (Section IV-A: "we can
+/// instead put 16 bytes of the filter").
+pub const PACK_FACTOR: usize = 16;
+
+/// Largest input-window bytes buffered per bit line; larger windows (the
+/// global 8x8 average pool) stream in chunks.
+pub const MAX_INPUT_BYTES_PER_LANE: usize = 16;
+
+/// Word-line budget of one lane under the Figure 10 layout, extended with
+/// the zero-point-correction running sum (`S2`) this reproduction carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowBudget {
+    /// Stationary filter rows (`R'*S' * 8`).
+    pub filter: usize,
+    /// Streamed input rows.
+    pub input: usize,
+    /// Partial-sum rows (3 bytes, Figure 10a).
+    pub partial: usize,
+    /// Scratch-pad rows (2 bytes, Figure 10a).
+    pub scratch: usize,
+    /// Zero-point-correction sum rows (2 bytes; DESIGN.md §4).
+    pub s2: usize,
+    /// Output rows (4 bytes, Figure 10a).
+    pub output: usize,
+    /// Dedicated all-zero row + comparison dump row.
+    pub control: usize,
+}
+
+impl RowBudget {
+    /// Total rows claimed.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.filter + self.input + self.partial + self.scratch + self.s2 + self.output
+            + self.control
+    }
+
+    /// Whether the layout fits the 256 word lines.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.total() <= ROWS
+    }
+}
+
+/// Mapping decisions and schedule of one convolution sub-layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvMapping {
+    /// Sub-layer name.
+    pub name: String,
+    /// Input tensor shape.
+    pub in_shape: Shape,
+    /// Output tensor shape.
+    pub out_shape: Shape,
+    /// Original filter window `R*S` in bytes.
+    pub window: usize,
+    /// Stride `U`.
+    pub stride: usize,
+    /// Filter bytes per bit line after packing/splitting (`R'*S'`).
+    pub eff_window: usize,
+    /// Channels packed per bit line (1 unless a 1x1 layer).
+    pub packing: usize,
+    /// Filter split factor (1 unless `R*S > 9`).
+    pub split: usize,
+    /// Effective channels before power-of-two round-up (`C'`).
+    pub eff_channels: usize,
+    /// Bit lines per filter: effective channels rounded to a power of two.
+    pub lanes_per_filter: usize,
+    /// Arrays one filter spans (1 or 2 in Inception v3).
+    pub arrays_per_filter: usize,
+    /// Filter instances per 8KB array (when a filter fits one array).
+    pub filters_per_array: usize,
+    /// Filter instances the whole cache computes per round.
+    pub parallel_instances: usize,
+    /// Serial rounds (`ceil(total_convs / parallel_instances)`).
+    pub rounds: usize,
+    /// Total convolutions (`E_h * E_w * M`).
+    pub total_convs: usize,
+    /// In-array reduction steps (`log2(min(lanes_per_filter, 256))`).
+    pub reduce_steps: u32,
+    /// Reduction steps that cross array boundaries.
+    pub cross_array_steps: u32,
+    /// Fraction of each input window that must be freshly streamed per
+    /// round (stride reuse, Section IV-A).
+    pub fresh_input_fraction: f64,
+    /// Word-line budget of one lane.
+    pub rows: RowBudget,
+}
+
+impl ConvMapping {
+    /// Compute-array utilization during convolution rounds (the paper
+    /// reports 99.7% for Conv2D_2b).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.total_convs as f64 / (self.rounds as f64 * self.parallel_instances as f64)
+    }
+
+    /// Output pixels computed in parallel per round (instances / M).
+    #[must_use]
+    pub fn pixels_per_round(&self) -> usize {
+        (self.parallel_instances / self.out_shape.c).max(1)
+    }
+
+    /// Input bytes one output pixel consumes (`R*S*C` of the original
+    /// geometry — packing/splitting rearrange but do not change volume).
+    #[must_use]
+    pub fn input_bytes_per_pixel(&self) -> usize {
+        self.window * self.in_shape.c
+    }
+
+    /// Fraction of an active array's bit lines holding live operands
+    /// (power-of-two round-up and partial filter packing leave the rest
+    /// idle); scales bit-line switching energy.
+    #[must_use]
+    pub fn lane_occupancy(&self) -> f64 {
+        let busy = if self.arrays_per_filter == 1 {
+            self.filters_per_array * self.eff_channels
+        } else {
+            self.eff_channels.div_ceil(self.arrays_per_filter)
+        };
+        (busy as f64 / nc_sram::COLS as f64).min(1.0)
+    }
+
+    /// Arrays active per round across the cache.
+    #[must_use]
+    pub fn active_arrays(&self) -> usize {
+        if self.arrays_per_filter == 1 {
+            self.parallel_instances.div_ceil(self.filters_per_array)
+        } else {
+            self.parallel_instances * self.arrays_per_filter
+        }
+    }
+}
+
+/// Mapping of a pooling sub-layer: window elements live along the bit line,
+/// one output element per lane (Section IV-D: pooling maps like
+/// convolution, without filters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolMapping {
+    /// Sub-layer name.
+    pub name: String,
+    /// Pooling flavor.
+    pub kind: PoolKind,
+    /// Input tensor shape.
+    pub in_shape: Shape,
+    /// Output tensor shape.
+    pub out_shape: Shape,
+    /// Window elements per output (`k*k`).
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Serial rounds.
+    pub rounds: usize,
+    /// Outputs per round across the cache (one per compute lane).
+    pub parallel_outputs: usize,
+    /// Total outputs (`E_h * E_w * C`).
+    pub total_outputs: usize,
+    /// Fresh-input fraction per round.
+    pub fresh_input_fraction: f64,
+}
+
+/// One schedulable unit: a convolution or pooling sub-layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitPlan {
+    /// Convolution sub-layer mapping.
+    Conv(ConvMapping),
+    /// Pooling sub-layer mapping.
+    Pool(PoolMapping),
+}
+
+impl UnitPlan {
+    /// Unit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            UnitPlan::Conv(c) => &c.name,
+            UnitPlan::Pool(p) => &p.name,
+        }
+    }
+
+    /// Output tensor shape.
+    #[must_use]
+    pub fn out_shape(&self) -> Shape {
+        match self {
+            UnitPlan::Conv(c) => c.out_shape,
+            UnitPlan::Pool(p) => p.out_shape,
+        }
+    }
+}
+
+/// Schedule of one top-level layer: its sub-layer units, executed serially
+/// (branches within a layer are serial, Section IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// Layer name (Table I row).
+    pub name: String,
+    /// Sub-layer units in execution order.
+    pub units: Vec<UnitPlan>,
+    /// Filter bytes loaded from DRAM for this layer (all sub-layers).
+    pub filter_bytes: usize,
+    /// Layer output bytes (the tensor passed to the next layer).
+    pub output_bytes: usize,
+}
+
+/// Plans a whole model against a cache geometry.
+///
+/// # Panics
+///
+/// Panics if any sub-layer cannot be mapped (row budget violation), which
+/// cannot happen for 8-bit layers within the supported shapes.
+#[must_use]
+pub fn plan_model(model: &Model, geometry: &CacheGeometry) -> Vec<LayerPlan> {
+    model
+        .layers
+        .iter()
+        .zip(model.layer_inputs())
+        .map(|(layer, input)| plan_layer(layer, input, geometry))
+        .collect()
+}
+
+/// Plans one top-level layer.
+#[must_use]
+pub fn plan_layer(layer: &Layer, input: Shape, geometry: &CacheGeometry) -> LayerPlan {
+    let mut units = Vec::new();
+    let mut filter_bytes = 0;
+    match layer {
+        Layer::Conv(conv) => {
+            filter_bytes += conv.spec.weight_len();
+            units.push(UnitPlan::Conv(plan_conv_unit(
+                &conv.spec.name,
+                conv.spec.r,
+                conv.spec.s,
+                conv.spec.c,
+                conv.spec.m,
+                conv.spec.stride,
+                input,
+                conv.spec.out_shape(input),
+                geometry,
+            )));
+        }
+        Layer::Pool(pool) => {
+            units.push(UnitPlan::Pool(plan_pool_unit(
+                &pool.name,
+                pool.kind,
+                pool.k,
+                pool.stride,
+                input,
+                pool.out_shape(input),
+                geometry,
+            )));
+        }
+        Layer::Mixed(block) => {
+            for branch in &block.branches {
+                let mut cur = input;
+                for op in &branch.ops {
+                    match op {
+                        nc_dnn::BranchOp::Conv(conv) => {
+                            filter_bytes += conv.spec.weight_len();
+                            let out = conv.spec.out_shape(cur);
+                            units.push(UnitPlan::Conv(plan_conv_unit(
+                                &conv.spec.name,
+                                conv.spec.r,
+                                conv.spec.s,
+                                conv.spec.c,
+                                conv.spec.m,
+                                conv.spec.stride,
+                                cur,
+                                out,
+                                geometry,
+                            )));
+                            cur = out;
+                        }
+                        nc_dnn::BranchOp::Pool(pool) => {
+                            let out = pool.out_shape(cur);
+                            units.push(UnitPlan::Pool(plan_pool_unit(
+                                &pool.name,
+                                pool.kind,
+                                pool.k,
+                                pool.stride,
+                                cur,
+                                out,
+                                geometry,
+                            )));
+                            cur = out;
+                        }
+                        nc_dnn::BranchOp::Split(convs) => {
+                            for conv in convs {
+                                filter_bytes += conv.spec.weight_len();
+                                units.push(UnitPlan::Conv(plan_conv_unit(
+                                    &conv.spec.name,
+                                    conv.spec.r,
+                                    conv.spec.s,
+                                    conv.spec.c,
+                                    conv.spec.m,
+                                    conv.spec.stride,
+                                    cur,
+                                    conv.spec.out_shape(cur),
+                                    geometry,
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let out_shape = layer.out_shape(input);
+    LayerPlan {
+        name: layer.name().to_owned(),
+        units,
+        filter_bytes,
+        output_bytes: out_shape.bytes(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_conv_unit(
+    name: &str,
+    r: usize,
+    s: usize,
+    c: usize,
+    m: usize,
+    stride: usize,
+    in_shape: Shape,
+    out_shape: Shape,
+    geometry: &CacheGeometry,
+) -> ConvMapping {
+    let window = r * s;
+
+    // Packing (1x1) and splitting (window > 9).
+    let (packing, split) = if window == 1 {
+        (PACK_FACTOR.min(c), 1)
+    } else if window > SPLIT_THRESHOLD {
+        (1, window.div_ceil(SPLIT_THRESHOLD))
+    } else {
+        (1, 1)
+    };
+    let eff_window = if packing > 1 {
+        packing
+    } else {
+        window.div_ceil(split)
+    };
+    let eff_channels = if packing > 1 {
+        c.div_ceil(packing)
+    } else {
+        c * split
+    };
+    let lanes_per_filter = eff_channels.next_power_of_two();
+
+    let cols = nc_sram::COLS;
+    let (arrays_per_filter, filters_per_array) = if lanes_per_filter <= cols {
+        (1, cols / lanes_per_filter)
+    } else {
+        (lanes_per_filter.div_ceil(cols), 0)
+    };
+
+    let compute_arrays = geometry.compute_arrays();
+    let parallel_instances = if arrays_per_filter == 1 {
+        compute_arrays * filters_per_array
+    } else {
+        (compute_arrays / arrays_per_filter).max(1)
+    };
+
+    let total_convs = out_shape.h * out_shape.w * m;
+    let rounds = total_convs.div_ceil(parallel_instances).max(1);
+
+    let in_array_lanes = lanes_per_filter.min(cols);
+    let reduce_steps = in_array_lanes.trailing_zeros();
+    let cross_array_steps = arrays_per_filter.trailing_zeros();
+
+    // Packed 1x1 layers have no input reuse and stream one input byte at a
+    // time (Section IV-A), so their lanes buffer a single byte.
+    let input_lane_bytes = if packing > 1 {
+        1
+    } else {
+        eff_window.min(MAX_INPUT_BYTES_PER_LANE)
+    };
+    let rows = RowBudget {
+        filter: eff_window * DATA_BITS,
+        input: input_lane_bytes * DATA_BITS,
+        partial: PARTIAL_BITS,
+        scratch: 2 * DATA_BITS,
+        s2: 2 * DATA_BITS,
+        output: REDUCE_BITS,
+        control: 2,
+    };
+    assert!(
+        rows.fits(),
+        "{name}: row budget {} exceeds {} word lines",
+        rows.total(),
+        ROWS
+    );
+
+    ConvMapping {
+        name: name.to_owned(),
+        in_shape,
+        out_shape,
+        window,
+        stride,
+        eff_window,
+        packing,
+        split,
+        eff_channels,
+        lanes_per_filter,
+        arrays_per_filter,
+        filters_per_array,
+        parallel_instances,
+        rounds,
+        total_convs,
+        reduce_steps,
+        cross_array_steps,
+        fresh_input_fraction: fresh_fraction(r, stride),
+        rows,
+    }
+}
+
+fn plan_pool_unit(
+    name: &str,
+    kind: PoolKind,
+    k: usize,
+    stride: usize,
+    in_shape: Shape,
+    out_shape: Shape,
+    geometry: &CacheGeometry,
+) -> PoolMapping {
+    let total_outputs = out_shape.len();
+    let parallel_outputs = geometry.compute_lanes();
+    PoolMapping {
+        name: name.to_owned(),
+        kind,
+        in_shape,
+        out_shape,
+        window: k * k,
+        stride,
+        rounds: total_outputs.div_ceil(parallel_outputs).max(1),
+        parallel_outputs,
+        total_outputs,
+        fresh_input_fraction: fresh_fraction(k, stride),
+    }
+}
+
+/// Fraction of the window that must be freshly streamed when the window
+/// slides by `stride` (Section IV-A: a 3x3 stride-1 window reuses 6 of 9
+/// bytes).
+fn fresh_fraction(window_rows: usize, stride: usize) -> f64 {
+    if stride >= window_rows {
+        1.0
+    } else {
+        stride as f64 / window_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::inception::inception_v3;
+
+    fn xeon() -> CacheGeometry {
+        CacheGeometry::xeon_e5_2697_v3()
+    }
+
+    fn find_conv<'p>(plans: &'p [LayerPlan], name: &str) -> &'p ConvMapping {
+        plans
+            .iter()
+            .flat_map(|p| &p.units)
+            .find_map(|u| match u {
+                UnitPlan::Conv(c) if c.name == name => Some(c),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no conv unit named {name}"))
+    }
+
+    #[test]
+    fn paper_worked_example_conv2d_2b() {
+        // Section VI-A: Conv2D_2b computes ~1.4M convolutions, ~32K in
+        // parallel, 43 serial rounds, 99.7% utilization.
+        let plans = plan_model(&inception_v3(), &xeon());
+        let c = find_conv(&plans, "Conv2d_2b_3x3");
+        assert_eq!(c.total_convs, 1_382_976);
+        assert_eq!(c.lanes_per_filter, 32);
+        assert_eq!(c.filters_per_array, 8);
+        assert_eq!(c.parallel_instances, 32_256, "~32K parallel convolutions");
+        assert_eq!(c.rounds, 43, "43 convolutions in series");
+        assert!((c.utilization() - 0.997).abs() < 0.001, "99.7% utilization");
+        assert_eq!(c.reduce_steps, 5);
+        assert_eq!(c.cross_array_steps, 0);
+    }
+
+    #[test]
+    fn one_by_one_filters_pack_sixteen_channels() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        // Mixed_7c b0: 1x1 over 2048 channels.
+        let c = find_conv(&plans, "Mixed_7c/b0_1x1");
+        assert_eq!(c.packing, 16);
+        assert_eq!(c.eff_window, 16);
+        assert_eq!(c.lanes_per_filter, 128, "2048/16 channels per filter");
+        assert_eq!(
+            c.arrays_per_filter, 1,
+            "packing keeps every filter within one array"
+        );
+    }
+
+    #[test]
+    fn five_by_five_filters_split() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        let c = find_conv(&plans, "Mixed_5b/b1_5x5");
+        assert_eq!(c.window, 25);
+        assert_eq!(c.split, 3, "25 bytes split into <=9-byte pieces");
+        assert_eq!(c.eff_window, 9);
+        assert_eq!(c.lanes_per_filter, (48 * 3usize).next_power_of_two());
+    }
+
+    #[test]
+    fn channels_span_at_most_two_arrays() {
+        // Section IV-A: the mapping guarantees all channels fit within two
+        // arrays that share sense amps.
+        let plans = plan_model(&inception_v3(), &xeon());
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert!(
+                        c.arrays_per_filter <= 2,
+                        "{}: filter spans {} arrays",
+                        c.name,
+                        c.arrays_per_filter
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_budgets_fit_everywhere() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert!(c.rows.fits(), "{}: {} rows", c.name, c.rows.total());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_is_high_across_the_network() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    let u = c.utilization();
+                    assert!(u > 0.0 && u <= 1.0, "{}: utilization {u}", c.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_slices_fewer_rounds() {
+        let model = inception_v3();
+        let p35 = plan_model(&model, &CacheGeometry::with_capacity_mb(35));
+        let p60 = plan_model(&model, &CacheGeometry::with_capacity_mb(60));
+        let rounds = |plans: &[LayerPlan]| -> usize {
+            plans
+                .iter()
+                .flat_map(|p| &p.units)
+                .map(|u| match u {
+                    UnitPlan::Conv(c) => c.rounds,
+                    UnitPlan::Pool(p) => p.rounds,
+                })
+                .sum()
+        };
+        assert!(rounds(&p60) < rounds(&p35));
+    }
+
+    #[test]
+    fn layer_plan_bookkeeping() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        let total_filter: usize = plans.iter().map(|p| p.filter_bytes).sum();
+        assert_eq!(total_filter, inception_v3().total_filter_bytes());
+        // Mixed_5b: 7 convs + 1 avg pool = 8 units.
+        let m5b = plans.iter().find(|p| p.name == "Mixed_5b").unwrap();
+        assert_eq!(m5b.units.len(), 8);
+        assert_eq!(m5b.output_bytes, 35 * 35 * 256);
+    }
+}

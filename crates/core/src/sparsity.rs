@@ -1,0 +1,213 @@
+//! Sparsity analysis — the paper's stated future work (Section VII:
+//! "Utilizing sparsity in DNN models for Neural Cache is a promising
+//! direction").
+//!
+//! Bit-serial multiplication iterates over *multiplier bits*: each zero bit
+//! of the multiplier still costs a tag load plus `n` predicated add cycles,
+//! because lanes are SIMD — a cycle can only be skipped if **every** lane
+//! agrees. This module quantifies two optimization levels for a given
+//! weight distribution:
+//!
+//! - **oracle (per-lane)**: the lower bound if each lane could skip its own
+//!   zero multiplier bits (what a non-SIMD bit-serial machine gets);
+//! - **simd (all-lanes-zero rows)**: the cycles actually removable in
+//!   Neural Cache, where a multiplier-bit round can be elided only when the
+//!   bit-slice row is zero across all active lanes of the array.
+//!
+//! The analysis runs over a model's real weight codes and reports the MAC
+//! cycle savings under the derived cost model.
+
+use nc_dnn::{Conv2d, Layer, Model};
+
+use crate::cost::DATA_BITS;
+
+/// Sparsity statistics of one convolution sub-layer's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStats {
+    /// Sub-layer name.
+    pub name: String,
+    /// Total weight codes.
+    pub weights: usize,
+    /// Codes equal to the weight zero point (exactly-zero real weights).
+    pub zero_codes: usize,
+    /// Mean set-bit density of the weight codes (bits/8).
+    pub bit_density: f64,
+    /// Fraction of multiplier-bit rounds an oracle per-lane skipper
+    /// removes.
+    pub oracle_skip_fraction: f64,
+    /// Fraction of rounds removable under the SIMD constraint, sampling
+    /// 256-lane groups in mapping order.
+    pub simd_skip_fraction: f64,
+}
+
+/// Sparsity report over a whole model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityReport {
+    /// Per-sub-layer statistics.
+    pub sublayers: Vec<SparsityStats>,
+}
+
+impl SparsityReport {
+    /// Weighted mean oracle skip fraction (weighted by weight count).
+    #[must_use]
+    pub fn oracle_skip(&self) -> f64 {
+        weighted(&self.sublayers, |s| s.oracle_skip_fraction)
+    }
+
+    /// Weighted mean SIMD-feasible skip fraction.
+    #[must_use]
+    pub fn simd_skip(&self) -> f64 {
+        weighted(&self.sublayers, |s| s.simd_skip_fraction)
+    }
+
+    /// Idealized MAC speedup if skipped rounds cost nothing (oracle).
+    ///
+    /// Each multiplier bit round costs `n + 2` of the `n^2 + 4n` derived
+    /// multiply cycles.
+    #[must_use]
+    pub fn oracle_mac_speedup(&self) -> f64 {
+        mac_speedup(self.oracle_skip())
+    }
+
+    /// Realizable MAC speedup under the SIMD all-lanes-zero constraint.
+    #[must_use]
+    pub fn simd_mac_speedup(&self) -> f64 {
+        mac_speedup(self.simd_skip())
+    }
+}
+
+fn weighted(stats: &[SparsityStats], f: impl Fn(&SparsityStats) -> f64) -> f64 {
+    let total: usize = stats.iter().map(|s| s.weights).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    stats.iter().map(|s| f(s) * s.weights as f64).sum::<f64>() / total as f64
+}
+
+fn mac_speedup(skip: f64) -> f64 {
+    let n = DATA_BITS as f64;
+    let mul = n * n + 4.0 * n; // derived multiply cost
+    let per_round = n + 2.0;
+    let saved = skip * n * per_round;
+    let acc = 24.0 + 16.0; // accumulate + S2 (unaffected by weight sparsity)
+    (mul + acc) / (mul + acc - saved)
+}
+
+/// Analyzes the weight sparsity of every convolution sub-layer.
+///
+/// # Panics
+///
+/// Panics if the model is shape-only (no weights to analyze).
+#[must_use]
+pub fn analyze(model: &Model) -> SparsityReport {
+    assert!(model.has_weights(), "sparsity analysis needs weights");
+    let sublayers = model
+        .layers
+        .iter()
+        .flat_map(Layer::conv_sublayers)
+        .map(analyze_conv)
+        .collect();
+    SparsityReport { sublayers }
+}
+
+fn analyze_conv(conv: &Conv2d) -> SparsityStats {
+    let weights = conv.weights.as_ref().expect("weights present");
+    let zp = conv.w_quant.zero_point.clamp(0, 255) as u8;
+    let zero_codes = weights.iter().filter(|&&w| w == zp).count();
+    let set_bits: u64 = weights.iter().map(|&w| u64::from(w.count_ones())).sum();
+    let bit_density = set_bits as f64 / (weights.len() * DATA_BITS) as f64;
+
+    // Oracle: fraction of (weight, bit) rounds with a zero multiplier bit.
+    let oracle_skip_fraction = 1.0 - bit_density;
+
+    // SIMD: walk the weights in 256-lane groups (the order the mapper packs
+    // filters); a bit round is skippable only when all lanes' bits are 0.
+    let mut skippable_rounds = 0u64;
+    let mut total_rounds = 0u64;
+    for group in weights.chunks(nc_sram::COLS) {
+        for bit in 0..DATA_BITS {
+            total_rounds += 1;
+            if group.iter().all(|&w| (w >> bit) & 1 == 0) {
+                skippable_rounds += 1;
+            }
+        }
+    }
+    SparsityStats {
+        name: conv.spec.name.clone(),
+        weights: weights.len(),
+        zero_codes,
+        bit_density,
+        oracle_skip_fraction,
+        simd_skip_fraction: if total_rounds == 0 {
+            0.0
+        } else {
+            skippable_rounds as f64 / total_rounds as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::workload::{random_conv, single_conv_model, tiny_cnn};
+    use nc_dnn::{Padding, Shape, WeightQuant};
+
+    #[test]
+    fn dense_random_weights_offer_no_simd_skips() {
+        let report = analyze(&tiny_cnn(1));
+        // Uniform random codes: ~50% oracle skip, essentially zero SIMD
+        // skip (some all-zero bit-slice across 256 lanes is vanishingly
+        // unlikely).
+        assert!((report.oracle_skip() - 0.5).abs() < 0.05);
+        assert!(report.simd_skip() < 0.05);
+        assert!(report.oracle_mac_speedup() > 1.3);
+        assert!(report.simd_mac_speedup() < 1.1);
+    }
+
+    #[test]
+    fn pruned_weights_enable_simd_skips() {
+        // A filter whose codes only use the low 4 bits: the top 4 bit
+        // rounds are skippable even under SIMD.
+        let mut conv = random_conv("pruned", (3, 3), 8, 2, 1, Padding::Same, true, 5);
+        if let Some(w) = conv.weights.as_mut() {
+            for q in w.iter_mut() {
+                *q &= 0x0F;
+            }
+        }
+        conv.w_quant = WeightQuant {
+            scale: 0.01,
+            zero_point: 0,
+        };
+        let model = single_conv_model(conv, Shape::new(4, 4, 8));
+        let report = analyze(&model);
+        assert!(
+            report.simd_skip() >= 0.5,
+            "top nibble rounds skippable, got {}",
+            report.simd_skip()
+        );
+        assert!(report.simd_mac_speedup() > 1.4);
+        assert!(report.oracle_mac_speedup() >= report.simd_mac_speedup());
+    }
+
+    #[test]
+    fn stats_count_zero_codes() {
+        let mut conv = random_conv("z", (1, 1), 4, 1, 1, Padding::Valid, true, 9);
+        conv.w_quant = WeightQuant {
+            scale: 0.01,
+            zero_point: 7,
+        };
+        if let Some(w) = conv.weights.as_mut() {
+            w.copy_from_slice(&[7, 7, 9, 7]);
+        }
+        let model = single_conv_model(conv, Shape::new(1, 1, 4));
+        let report = analyze(&model);
+        assert_eq!(report.sublayers[0].zero_codes, 3);
+        assert_eq!(report.sublayers[0].weights, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs weights")]
+    fn shape_only_models_are_rejected() {
+        let _ = analyze(&nc_dnn::inception::inception_v3());
+    }
+}

@@ -1,0 +1,108 @@
+//! DESIGN.md §3 promise: the `DerivedCostModel` constants must stay in sync
+//! with the *actual* micro-op sequences of `nc-sram`. This test executes
+//! the real bit-serial operations and compares measured cycles against the
+//! model.
+
+use nc_sram::{ComputeArray, Operand, COLS};
+use neural_cache::cost::{CostModel, DerivedCostModel};
+
+fn arr() -> ComputeArray {
+    ComputeArray::with_zero_row(255).expect("zero row")
+}
+
+#[test]
+fn derived_mac_cycles_match_functional_ops() {
+    // One MAC = mul(8x8 -> 16) + accumulate into the 24-bit partial +
+    // accumulate the input byte into the 16-bit S2 sum.
+    let mut a = arr();
+    let w = Operand::new(0, 8).unwrap();
+    let x = Operand::new(8, 8).unwrap();
+    let prod = Operand::new(16, 16).unwrap();
+    let partial = Operand::new(32, 24).unwrap();
+    let s2 = Operand::new(56, 16).unwrap();
+    a.poke_lane(0, w, 200);
+    a.poke_lane(0, x, 123);
+    let mut measured = 0;
+    measured += a.mul(w, x, prod).unwrap().compute_cycles;
+    measured += a.add_assign(partial, prod).unwrap().compute_cycles;
+    measured += a.add_assign(s2, x).unwrap().compute_cycles;
+    assert_eq!(
+        measured,
+        DerivedCostModel.mac_cycles(),
+        "DerivedCostModel::mac_cycles out of sync with nc-sram"
+    );
+    assert_eq!(a.peek_lane(0, partial), 200 * 123);
+    assert_eq!(a.peek_lane(0, s2), 123);
+}
+
+#[test]
+fn derived_reduction_step_matches_functional_ops() {
+    // One reduction step = lane move (2 cycles/row) + 32-bit add, for each
+    // of the S1 and S2 trees.
+    let mut a = arr();
+    let v = Operand::new(0, 32).unwrap();
+    let s = Operand::new(32, 32).unwrap();
+    let before = a.stats();
+    a.move_lanes(v, s, 1, 1).unwrap();
+    a.add_assign(v, s).unwrap();
+    let one_tree_step = (a.stats() - before).compute_cycles;
+    assert_eq!(
+        2 * one_tree_step,
+        DerivedCostModel.reduction_step_cycles(),
+        "DerivedCostModel::reduction_step_cycles out of sync"
+    );
+}
+
+#[test]
+fn derived_reduction_setup_matches_functional_ops() {
+    let mut a = arr();
+    let p = Operand::new(0, 24).unwrap();
+    let s2 = Operand::new(24, 16).unwrap();
+    let seg = Operand::new(40, 32).unwrap();
+    let seg2 = Operand::new(72, 32).unwrap();
+    let before = a.stats();
+    a.copy_zext(p, seg).unwrap();
+    a.copy_zext(s2, seg2).unwrap();
+    assert_eq!(
+        (a.stats() - before).compute_cycles,
+        DerivedCostModel.reduction_setup_cycles(),
+    );
+}
+
+#[test]
+fn derived_max_cycles_match_functional_ops() {
+    let mut a = arr();
+    let acc = Operand::new(0, 8).unwrap();
+    let x = Operand::new(8, 8).unwrap();
+    let s = Operand::new(16, 8).unwrap();
+    let d = a.max_assign(acc, x, s, 250).unwrap();
+    assert_eq!(d.compute_cycles, DerivedCostModel.max_cycles());
+}
+
+#[test]
+fn derived_avg_pool_costs_match_functional_ops() {
+    let mut a = arr();
+    let sum = Operand::new(0, 16).unwrap();
+    let x = Operand::new(16, 8).unwrap();
+    let d = a.add_assign(sum, x).unwrap();
+    assert_eq!(d.compute_cycles, DerivedCostModel.avg_add_cycles());
+
+    let quot = Operand::new(24, 16).unwrap();
+    let rem = Operand::new(40, 7).unwrap();
+    let trial = Operand::new(47, 7).unwrap();
+    a.poke_lane(0, sum, 12345);
+    let d = a.div_scalar(sum, 9, quot, rem, trial).unwrap();
+    assert_eq!(d.compute_cycles, DerivedCostModel.avg_div_cycles());
+    assert_eq!(a.peek_lane(0, quot), 12345 / 9);
+}
+
+#[test]
+fn full_reduction_tree_cost_composes_from_steps() {
+    // A 256-lane, 32-bit tree costs exactly steps * (move + add).
+    let mut a = arr();
+    let v = Operand::new(0, 32).unwrap();
+    let s = Operand::new(32, 32).unwrap();
+    let d = a.reduce_sum(v, s, COLS).unwrap();
+    let per_step = 2 * 32 + 32;
+    assert_eq!(d.compute_cycles, 8 * per_step);
+}

@@ -1,0 +1,162 @@
+//! Tensor shapes and convolution output-size arithmetic.
+
+use std::fmt;
+
+/// Shape of one activation tensor in HWC (height, width, channels) order.
+///
+/// Batches are handled by the scheduler (Section IV-E), so tensors describe
+/// a single image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Height (the paper's `H` for inputs, `E` for outputs).
+    pub h: usize,
+    /// Width (`W`).
+    pub w: usize,
+    /// Channels (`C`).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates a shape; all dimensions must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0, "shape dimensions must be non-zero");
+        Shape { h, w, c }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// `true` only for the impossible empty shape (kept for API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of a `u8` tensor of this shape.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.len()
+    }
+
+    /// Row-major HWC linear index of `(y, x, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn index(&self, y: usize, x: usize, c: usize) -> usize {
+        assert!(y < self.h && x < self.w && c < self.c, "index out of bounds");
+        (y * self.w + x) * self.c + c
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Spatial padding policy, with TensorFlow semantics (the framework the
+/// paper benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Padding {
+    /// No padding; output dim = `floor((in - k)/stride) + 1`.
+    #[default]
+    Valid,
+    /// Pad so output dim = `ceil(in/stride)`.
+    Same,
+}
+
+/// Output spatial dimension of a convolution/pooling window.
+///
+/// # Panics
+///
+/// Panics if the window does not fit (`Valid` with `k > input`), or stride
+/// is zero.
+#[must_use]
+pub fn conv_out_dim(input: usize, k: usize, stride: usize, padding: Padding) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    match padding {
+        Padding::Valid => {
+            assert!(input >= k, "window {k} larger than input {input}");
+            (input - k) / stride + 1
+        }
+        Padding::Same => input.div_ceil(stride),
+    }
+}
+
+/// Total padding (both sides combined) applied along one dimension.
+#[must_use]
+pub fn pad_total(input: usize, k: usize, stride: usize, padding: Padding) -> usize {
+    match padding {
+        Padding::Valid => 0,
+        Padding::Same => {
+            let out = conv_out_dim(input, k, stride, padding);
+            ((out - 1) * stride + k).saturating_sub(input)
+        }
+    }
+}
+
+/// Padding applied before the first element (TensorFlow puts the smaller
+/// half first).
+#[must_use]
+pub fn pad_before(input: usize, k: usize, stride: usize, padding: Padding) -> usize {
+    pad_total(input, k, stride, padding) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception_stem_dimensions() {
+        // The well-known Inception v3 stem, matching Table I's H/E columns.
+        assert_eq!(conv_out_dim(299, 3, 2, Padding::Valid), 149); // 1a
+        assert_eq!(conv_out_dim(149, 3, 1, Padding::Valid), 147); // 2a
+        assert_eq!(conv_out_dim(147, 3, 1, Padding::Same), 147); // 2b
+        assert_eq!(conv_out_dim(147, 3, 2, Padding::Valid), 73); // pool 3a
+        assert_eq!(conv_out_dim(73, 1, 1, Padding::Valid), 73); // 3b
+        assert_eq!(conv_out_dim(73, 3, 1, Padding::Valid), 71); // 4a
+        assert_eq!(conv_out_dim(71, 3, 2, Padding::Valid), 35); // pool 5a
+        assert_eq!(conv_out_dim(35, 3, 2, Padding::Valid), 17); // 6a
+        assert_eq!(conv_out_dim(17, 3, 2, Padding::Valid), 8); // 7a
+        assert_eq!(conv_out_dim(8, 8, 1, Padding::Valid), 1); // global pool
+    }
+
+    #[test]
+    fn same_padding_amounts() {
+        assert_eq!(pad_total(147, 3, 1, Padding::Same), 2);
+        assert_eq!(pad_before(147, 3, 1, Padding::Same), 1);
+        assert_eq!(pad_total(35, 5, 1, Padding::Same), 4);
+        assert_eq!(pad_before(35, 5, 1, Padding::Same), 2);
+        assert_eq!(pad_total(17, 7, 1, Padding::Same), 6);
+        assert_eq!(pad_total(73, 1, 1, Padding::Same), 0);
+    }
+
+    #[test]
+    fn shape_indexing_is_hwc() {
+        let s = Shape::new(4, 5, 3);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 2), 2);
+        assert_eq!(s.index(0, 1, 0), 3);
+        assert_eq!(s.index(1, 0, 0), 15);
+        assert_eq!(s.index(3, 4, 2), 59);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shape_index_checks_bounds() {
+        let s = Shape::new(2, 2, 2);
+        let _ = s.index(2, 0, 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Synthetic workload generators: random inputs and small CNNs for tests,
+//! examples, and the functional cross-validation harness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{
+    ActQuant, Branch, BranchOp, Conv2d, ConvSpec, Layer, MixedBlock, Model, Padding, Pool2d,
+    PoolKind, QTensor, Shape, WeightQuant,
+};
+
+/// Generates a random quantized input tensor with the given parameters.
+#[must_use]
+pub fn random_input(shape: Shape, params: ActQuant, seed: u64) -> QTensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = vec![0u8; shape.len()];
+    rng.fill_bytes(&mut data);
+    QTensor::from_vec(shape, params, data)
+}
+
+/// Generates a random convolution sub-layer with seeded weights.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (R,S,C,M,U,pad) nomenclature
+pub fn random_conv(
+    name: &str,
+    (r, s): (usize, usize),
+    c: usize,
+    m: usize,
+    stride: usize,
+    padding: Padding,
+    relu: bool,
+    seed: u64,
+) -> Conv2d {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let spec = ConvSpec {
+        name: name.to_owned(),
+        r,
+        s,
+        c,
+        m,
+        stride,
+        padding,
+        relu,
+    };
+    let mut weights = vec![0u8; spec.weight_len()];
+    rng.fill_bytes(&mut weights);
+    let w_quant = WeightQuant {
+        scale: 0.01,
+        zero_point: 128,
+    };
+    let bias: Vec<i64> = (0..m).map(|_| rng.gen_range(-300..300)).collect();
+    Conv2d::with_weights(spec, weights, w_quant, bias)
+}
+
+/// A small but structurally complete CNN exercising every layer kind Neural
+/// Cache supports: conv (VALID + SAME, strided), max pool, a mixed block
+/// with a pool branch and shared-range concat, average pooling and a final
+/// classifier. Designed to run the functional executor in well under a
+/// second.
+#[must_use]
+pub fn tiny_cnn(seed: u64) -> Model {
+    let s = |k| seed.wrapping_mul(1000).wrapping_add(k);
+    let mixed = MixedBlock {
+        name: "tiny_mixed".into(),
+        branches: vec![
+            Branch::new(vec![BranchOp::Conv(random_conv(
+                "tiny_mixed/b0_1x1",
+                (1, 1),
+                16,
+                8,
+                1,
+                Padding::Same,
+                true,
+                s(3),
+            ))]),
+            Branch::new(vec![
+                BranchOp::Conv(random_conv(
+                    "tiny_mixed/b1_1x1",
+                    (1, 1),
+                    16,
+                    4,
+                    1,
+                    Padding::Same,
+                    true,
+                    s(4),
+                )),
+                BranchOp::Conv(random_conv(
+                    "tiny_mixed/b1_3x3",
+                    (3, 3),
+                    4,
+                    8,
+                    1,
+                    Padding::Same,
+                    true,
+                    s(5),
+                )),
+            ]),
+            Branch::new(vec![
+                BranchOp::Pool(Pool2d {
+                    name: "tiny_mixed/b2_pool".into(),
+                    kind: PoolKind::Avg,
+                    k: 3,
+                    stride: 1,
+                    padding: Padding::Same,
+                }),
+                BranchOp::Conv(random_conv(
+                    "tiny_mixed/b2_proj",
+                    (1, 1),
+                    16,
+                    4,
+                    1,
+                    Padding::Same,
+                    true,
+                    s(6),
+                )),
+            ]),
+        ],
+    };
+    let model = Model {
+        name: "tiny-cnn".into(),
+        input_shape: Shape::new(12, 12, 4),
+        input_quant: ActQuant::from_range(-1.0, 1.0),
+        layers: vec![
+            Layer::Conv(random_conv(
+                "conv1",
+                (3, 3),
+                4,
+                8,
+                1,
+                Padding::Same,
+                true,
+                s(1),
+            )),
+            Layer::Pool(Pool2d {
+                name: "pool1".into(),
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+                padding: Padding::Valid,
+            }),
+            Layer::Conv(random_conv(
+                "conv2",
+                (3, 3),
+                8,
+                16,
+                1,
+                Padding::Valid,
+                true,
+                s(2),
+            )),
+            Layer::Mixed(mixed),
+            Layer::Pool(Pool2d {
+                name: "gap".into(),
+                kind: PoolKind::Avg,
+                k: 4,
+                stride: 1,
+                padding: Padding::Valid,
+            }),
+            Layer::Conv(random_conv(
+                "classifier",
+                (1, 1),
+                20,
+                10,
+                1,
+                Padding::Valid,
+                false,
+                s(7),
+            )),
+        ],
+    };
+    debug_assert_eq!(model.validate(), Shape::new(1, 1, 10));
+    model
+}
+
+/// A miniature Inception: one block of every family the real network uses —
+/// an Inception-A-style block (1x1 / 5x5 / double-3x3 / avgpool-proj), a
+/// reduction block with a **raw max-pool branch** (the Mixed 6a/7a pattern
+/// whose pool output concatenates with requantized conv branches), and an
+/// Inception-C-style block with **terminal splits** (the Mixed 7b/7c 1x3 +
+/// 3x1 fan-out). Exercises every orchestration path of the executors at toy
+/// scale.
+#[must_use]
+pub fn mini_inception(seed: u64) -> Model {
+    let s = |k| seed.wrapping_mul(7919).wrapping_add(k);
+    let c1 = |name: &str, k: (usize, usize), c, m, sd| {
+        random_conv(name, k, c, m, 1, Padding::Same, true, sd)
+    };
+
+    // Block A on 8x8x8: branches 4 + (3 -> 4) + (3 -> 4 -> 4) + (pool -> 2).
+    let block_a = MixedBlock {
+        name: "mini_a".into(),
+        branches: vec![
+            Branch::new(vec![BranchOp::Conv(c1("mini_a/b0", (1, 1), 8, 4, s(1)))]),
+            Branch::new(vec![
+                BranchOp::Conv(c1("mini_a/b1_1x1", (1, 1), 8, 3, s(2))),
+                BranchOp::Conv(c1("mini_a/b1_5x5", (5, 5), 3, 4, s(3))),
+            ]),
+            Branch::new(vec![
+                BranchOp::Conv(c1("mini_a/b2_1x1", (1, 1), 8, 3, s(4))),
+                BranchOp::Conv(c1("mini_a/b2_3x3a", (3, 3), 3, 4, s(5))),
+                BranchOp::Conv(c1("mini_a/b2_3x3b", (3, 3), 4, 4, s(6))),
+            ]),
+            Branch::new(vec![
+                BranchOp::Pool(Pool2d {
+                    name: "mini_a/b3_pool".into(),
+                    kind: PoolKind::Avg,
+                    k: 3,
+                    stride: 1,
+                    padding: Padding::Same,
+                }),
+                BranchOp::Conv(c1("mini_a/b3_proj", (1, 1), 8, 2, s(7))),
+            ]),
+        ],
+    };
+
+    // Reduction block on 8x8x14 -> 3x3: stride-2 conv + raw max-pool branch.
+    let block_r = MixedBlock {
+        name: "mini_r".into(),
+        branches: vec![
+            Branch::new(vec![BranchOp::Conv(random_conv(
+                "mini_r/b0_3x3",
+                (3, 3),
+                14,
+                6,
+                2,
+                Padding::Valid,
+                true,
+                s(8),
+            ))]),
+            Branch::new(vec![BranchOp::Pool(Pool2d {
+                name: "mini_r/b1_pool".into(),
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 2,
+                padding: Padding::Valid,
+            })]),
+        ],
+    };
+
+    // Block C on 3x3x20: a split branch (1x3 + 3x1) plus a plain 1x1.
+    let block_c = MixedBlock {
+        name: "mini_c".into(),
+        branches: vec![
+            Branch::new(vec![BranchOp::Conv(c1("mini_c/b0", (1, 1), 20, 4, s(9)))]),
+            Branch::new(vec![
+                BranchOp::Conv(c1("mini_c/b1_1x1", (1, 1), 20, 6, s(10))),
+                BranchOp::Split(vec![
+                    c1("mini_c/b1_1x3", (1, 3), 6, 4, s(11)),
+                    c1("mini_c/b1_3x1", (3, 1), 6, 4, s(12)),
+                ]),
+            ]),
+        ],
+    };
+
+    let model = Model {
+        name: "mini-inception".into(),
+        input_shape: Shape::new(8, 8, 8),
+        input_quant: ActQuant::from_range(-1.0, 1.0),
+        layers: vec![
+            Layer::Mixed(block_a),
+            Layer::Mixed(block_r),
+            Layer::Mixed(block_c),
+            Layer::Pool(Pool2d {
+                name: "mini_gap".into(),
+                kind: PoolKind::Avg,
+                k: 3,
+                stride: 1,
+                padding: Padding::Valid,
+            }),
+            Layer::Conv(random_conv(
+                "mini_logits",
+                (1, 1),
+                12,
+                5,
+                1,
+                Padding::Valid,
+                false,
+                s(13),
+            )),
+        ],
+    };
+    debug_assert_eq!(model.validate(), Shape::new(1, 1, 5));
+    model
+}
+
+/// A single-conv model, handy for focused equivalence tests.
+#[must_use]
+pub fn single_conv_model(conv: Conv2d, input_shape: Shape) -> Model {
+    Model {
+        name: format!("single-{}", conv.spec.name),
+        input_shape,
+        input_quant: ActQuant::from_range(-1.0, 1.0),
+        layers: vec![Layer::Conv(conv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_model;
+
+    #[test]
+    fn tiny_cnn_runs_end_to_end() {
+        let model = tiny_cnn(42);
+        assert!(model.has_weights());
+        let input = random_input(model.input_shape, model.input_quant, 1);
+        let result = run_model(&model, &input);
+        assert_eq!(result.output.shape(), Shape::new(1, 1, 10));
+        assert_eq!(result.layers.len(), 6);
+        // Deterministic.
+        let again = run_model(&model, &input);
+        assert_eq!(result.output, again.output);
+    }
+
+    #[test]
+    fn tiny_cnn_is_seed_sensitive() {
+        let input = random_input(Shape::new(12, 12, 4), ActQuant::from_range(-1.0, 1.0), 1);
+        let a = run_model(&tiny_cnn(1), &input);
+        let b = run_model(&tiny_cnn(2), &input);
+        assert_ne!(a.output, b.output);
+    }
+
+    #[test]
+    fn mini_inception_runs_and_covers_all_block_families() {
+        let model = mini_inception(11);
+        assert!(model.has_weights());
+        // Structure checks: a split terminal, a pool-final branch, and an
+        // avgpool-projection branch all present.
+        let has_split = model.layers.iter().any(|l| {
+            matches!(l, Layer::Mixed(b) if b.branches.iter().any(|br| {
+                matches!(br.ops.last(), Some(BranchOp::Split(_)))
+            }))
+        });
+        let has_pool_final = model.layers.iter().any(|l| {
+            matches!(l, Layer::Mixed(b) if b.branches.iter().any(|br| {
+                matches!(br.ops.last(), Some(BranchOp::Pool(_)))
+            }))
+        });
+        assert!(has_split, "mini-inception must exercise terminal splits");
+        assert!(has_pool_final, "mini-inception must exercise pool-final branches");
+        let input = random_input(model.input_shape, model.input_quant, 4);
+        let out = run_model(&model, &input);
+        assert_eq!(out.output.shape(), Shape::new(1, 1, 5));
+    }
+
+    #[test]
+    fn random_input_is_deterministic() {
+        let shape = Shape::new(4, 4, 2);
+        let q = ActQuant::default();
+        assert_eq!(random_input(shape, q, 9), random_input(shape, q, 9));
+        assert_ne!(random_input(shape, q, 9), random_input(shape, q, 10));
+    }
+}

@@ -1,0 +1,136 @@
+//! Set-address decoding: physical address to (slice, way-set, bank, array,
+//! row) in the spirit of the paper's reverse-engineered Xeon LLC layout.
+//!
+//! The paper's data-loading micro-benchmark "sequentially reads out the
+//! exact sets within a way that need loading" — which requires knowing how
+//! addresses map onto slices and banks. Intel's slice selection is an
+//! undocumented XOR-fold hash of the upper address bits; we model it as a
+//! parity hash (the published reverse-engineering approach) followed by a
+//! conventional set/bank/array split inside the slice.
+
+use crate::CacheGeometry;
+
+/// Cache-line size in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// Location of one cache line inside the compute LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheLocation {
+    /// Slice on the ring.
+    pub slice: usize,
+    /// Set index within a way of the slice.
+    pub set: usize,
+    /// Bank within the way holding this set.
+    pub bank: usize,
+    /// 8KB array pair within the bank (arrays share sense amps in pairs).
+    pub array_pair: usize,
+    /// Word-line row within the arrays.
+    pub row: usize,
+}
+
+/// Decodes a physical address into its LLC location under `geometry`.
+///
+/// The mapping keeps the invariants that matter to the Neural Cache layout:
+/// consecutive lines spread over banks and array pairs before wrapping rows,
+/// and the slice hash diffuses upper address bits so streaming fills load
+/// all slices near-uniformly.
+///
+/// # Examples
+///
+/// ```
+/// use nc_geometry::{decode_address, CacheGeometry};
+///
+/// let g = CacheGeometry::xeon_e5_2697_v3();
+/// let loc = decode_address(0x4000_1240, &g);
+/// assert!(loc.slice < g.slices);
+/// assert!(loc.row < 256);
+/// ```
+#[must_use]
+pub fn decode_address(addr: u64, geometry: &CacheGeometry) -> CacheLocation {
+    let line = addr / LINE_BYTES as u64;
+
+    // Slice hash: XOR-fold of the line address (parity per slice-index bit),
+    // reduced modulo the slice count for non-power-of-two rings.
+    let mut h = line;
+    h ^= h >> 17;
+    h ^= h >> 9;
+    h ^= h >> 5;
+    let slice = (h % geometry.slices as u64) as usize;
+
+    // Sets per way of one slice: capacity of a way / line size.
+    let way_bytes = geometry.arrays_per_way() * geometry.array_bytes();
+    let sets_per_way = way_bytes / LINE_BYTES;
+    let set = (line / geometry.slices as u64 % sets_per_way as u64) as usize;
+
+    // Within the way: interleave sets across banks first, then array pairs,
+    // then rows, so that streaming fills touch all banks in parallel.
+    let bank = set % geometry.banks_per_way;
+    let pairs_per_bank = geometry.arrays_per_bank / 2;
+    let array_pair = (set / geometry.banks_per_way) % pairs_per_bank;
+    let row = set / (geometry.banks_per_way * pairs_per_bank) % nc_sram::ROWS;
+
+    CacheLocation {
+        slice,
+        set,
+        bank,
+        array_pair,
+        row,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locations_are_in_range() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        for i in 0..10_000u64 {
+            let loc = decode_address(i * 64 + 0x1000_0000, &g);
+            assert!(loc.slice < g.slices);
+            assert!(loc.bank < g.banks_per_way);
+            assert!(loc.array_pair < g.arrays_per_bank / 2);
+            assert!(loc.row < nc_sram::ROWS);
+            assert!(loc.set < g.arrays_per_way() * g.array_bytes() / LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn same_line_same_location() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        let a = decode_address(0xABCD_E040, &g);
+        let b = decode_address(0xABCD_E07F, &g);
+        assert_eq!(a, b, "both addresses fall in one 64B line");
+    }
+
+    #[test]
+    fn consecutive_lines_spread_across_banks() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        // A large streaming fill should hit every bank of a way.
+        let mut bank_hits = [0usize; 4];
+        for i in 0..4096u64 {
+            let loc = decode_address(i * 64, &g);
+            bank_hits[loc.bank] += 1;
+        }
+        for (bank, &hits) in bank_hits.iter().enumerate() {
+            assert!(hits > 512, "bank {bank} only hit {hits} times");
+        }
+    }
+
+    #[test]
+    fn slice_hash_is_roughly_uniform() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        let mut slice_hits = vec![0usize; g.slices];
+        let n = 140_000u64;
+        for i in 0..n {
+            slice_hits[decode_address(i * 64, &g).slice] += 1;
+        }
+        let expect = n as usize / g.slices;
+        for (slice, &hits) in slice_hits.iter().enumerate() {
+            assert!(
+                hits > expect * 8 / 10 && hits < expect * 12 / 10,
+                "slice {slice}: {hits} vs expected ~{expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The slice/way/bank/array hierarchy of a compute-capable LLC (Figure 3).
+
+use std::fmt;
+
+use nc_sram::{COLS, ROWS};
+
+/// Geometry of a sliced last-level cache re-purposed for in-cache compute.
+///
+/// The default construction models the Intel Xeon E5-2697 v3 LLC the paper
+/// evaluates: 14 x 2.5 MB slices, each slice 20 ways, each way 4 x 32KB
+/// banks, each bank 4 x 8KB SRAM arrays (two 16KB sub-arrays of two arrays
+/// sharing sense amps). Table IV scales the slice count to 18 (45 MB) and
+/// 24 (60 MB).
+///
+/// Two ways per slice are reserved (Section IV): the last way stays a normal
+/// cache for the CPU cores, the penultimate way buffers layer inputs and
+/// outputs. The remaining ways hold stationary filters and compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Number of LLC slices on the ring.
+    pub slices: usize,
+    /// Ways per slice (Xeon E5: 20).
+    pub ways_per_slice: usize,
+    /// Banks per way (Xeon E5: 4; the slice has 80 banks total).
+    pub banks_per_way: usize,
+    /// 8KB SRAM arrays per 32KB bank (Xeon E5: 4).
+    pub arrays_per_bank: usize,
+    /// Ways reserved for normal CPU operation (paper: 1, way-20).
+    pub reserved_cpu_ways: usize,
+    /// Ways reserved for input/output staging (paper: 1, way-19).
+    pub reserved_io_ways: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's evaluation platform: dual-socket Xeon E5-2697 v3 with a
+    /// 35 MB LLC per socket (14 slices). Neural Cache numbers are reported
+    /// per socket.
+    #[must_use]
+    pub const fn xeon_e5_2697_v3() -> Self {
+        CacheGeometry {
+            slices: 14,
+            ways_per_slice: 20,
+            banks_per_way: 4,
+            arrays_per_bank: 4,
+            reserved_cpu_ways: 1,
+            reserved_io_ways: 1,
+        }
+    }
+
+    /// A geometry with a different slice count but the Xeon slice design
+    /// (2.5 MB / 20 ways / 80 banks), as in the Table IV capacity sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    #[must_use]
+    pub fn with_slices(slices: usize) -> Self {
+        assert!(slices > 0, "at least one slice required");
+        CacheGeometry {
+            slices,
+            ..CacheGeometry::xeon_e5_2697_v3()
+        }
+    }
+
+    /// Geometry for the Table IV capacity points: 35, 45 or 60 MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics for capacities that are not a multiple of the 2.5 MB slice.
+    #[must_use]
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        let slice_kb = 2560;
+        let total_kb = mb * 1024;
+        assert!(
+            total_kb.is_multiple_of(slice_kb),
+            "capacity must be a multiple of the 2.5 MB slice, got {mb} MB"
+        );
+        CacheGeometry::with_slices(total_kb / slice_kb)
+    }
+
+    /// Bytes stored by one 8KB array (256 x 256 bits).
+    #[must_use]
+    pub const fn array_bytes(&self) -> usize {
+        ROWS * COLS / 8
+    }
+
+    /// Arrays per way (Xeon E5: 16).
+    #[must_use]
+    pub fn arrays_per_way(&self) -> usize {
+        self.banks_per_way * self.arrays_per_bank
+    }
+
+    /// Arrays per slice (Xeon E5: 320).
+    #[must_use]
+    pub fn arrays_per_slice(&self) -> usize {
+        self.ways_per_slice * self.arrays_per_way()
+    }
+
+    /// Total 8KB arrays in the cache (Xeon E5: 4480).
+    #[must_use]
+    pub fn total_arrays(&self) -> usize {
+        self.slices * self.arrays_per_slice()
+    }
+
+    /// Total banks in the cache (Xeon E5: 1120) — one control FSM each.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.slices * self.ways_per_slice * self.banks_per_way
+    }
+
+    /// Bit-serial ALU slots: one per bit line of every array
+    /// (paper headline: 1,146,880 for the 35 MB Xeon E5).
+    #[must_use]
+    pub fn alu_slots(&self) -> usize {
+        self.total_arrays() * COLS
+    }
+
+    /// Cache capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_arrays() * self.array_bytes()
+    }
+
+    /// Ways per slice available for compute (filters + arithmetic),
+    /// after removing the CPU and I/O reservations (Xeon E5: 18).
+    #[must_use]
+    pub fn compute_ways(&self) -> usize {
+        self.ways_per_slice
+            .saturating_sub(self.reserved_cpu_ways + self.reserved_io_ways)
+    }
+
+    /// Compute arrays per slice (Xeon E5: 288).
+    #[must_use]
+    pub fn compute_arrays_per_slice(&self) -> usize {
+        self.compute_ways() * self.arrays_per_way()
+    }
+
+    /// Total compute arrays (Xeon E5: 4032).
+    #[must_use]
+    pub fn compute_arrays(&self) -> usize {
+        self.slices * self.compute_arrays_per_slice()
+    }
+
+    /// Bit lines available for compute across the whole cache.
+    #[must_use]
+    pub fn compute_lanes(&self) -> usize {
+        self.compute_arrays() * COLS
+    }
+
+    /// Capacity of one reserved I/O way across all slices, in bytes
+    /// (the staging space for layer inputs/outputs; Xeon E5: 14 x 128 KB).
+    #[must_use]
+    pub fn io_way_bytes(&self) -> usize {
+        self.slices * self.arrays_per_way() * self.array_bytes() * self.reserved_io_ways
+    }
+
+    /// Peak 8-bit operations per second when every compute lane performs a
+    /// multiply-accumulate (2 ops) every `mac_cycles` at `freq_hz`.
+    ///
+    /// The paper quotes 28 TOP/s at 22 nm for the full 35 MB cache.
+    #[must_use]
+    pub fn peak_ops_per_sec(&self, mac_cycles: u64, freq_hz: f64) -> f64 {
+        2.0 * self.alu_slots() as f64 * freq_hz / mac_cycles as f64
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::xeon_e5_2697_v3()
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} MB LLC: {} slices x {} ways x {} banks x {} arrays ({} ALU slots)",
+            self.capacity_bytes() as f64 / (1024.0 * 1024.0),
+            self.slices,
+            self.ways_per_slice,
+            self.banks_per_way,
+            self.arrays_per_bank,
+            self.alu_slots()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_matches_paper_headline_numbers() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        assert_eq!(g.arrays_per_slice(), 320, "Section III-A: 320 arrays/slice");
+        assert_eq!(g.total_arrays(), 4480, "Section III-A: 4480 arrays");
+        assert_eq!(g.alu_slots(), 1_146_880, "paper headline ALU slots");
+        assert_eq!(g.capacity_bytes(), 35 << 20, "35 MB LLC");
+        assert_eq!(g.total_banks(), 1120);
+        assert_eq!(g.compute_ways(), 18);
+        assert_eq!(g.compute_arrays(), 4032);
+        assert_eq!(g.io_way_bytes(), 14 * 128 * 1024);
+    }
+
+    #[test]
+    fn capacity_sweep_matches_table4_slices() {
+        assert_eq!(CacheGeometry::with_capacity_mb(35).slices, 14);
+        assert_eq!(CacheGeometry::with_capacity_mb(45).slices, 18);
+        assert_eq!(CacheGeometry::with_capacity_mb(60).slices, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 2.5 MB slice")]
+    fn rejects_unaligned_capacity() {
+        let _ = CacheGeometry::with_capacity_mb(36);
+    }
+
+    #[test]
+    fn peak_tops_in_paper_ballpark() {
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        // With the paper's ~200-cycle effective 8-bit MAC the cache delivers
+        // tens of TOP/s; the paper quotes 28 TOP/s at 22 nm.
+        let tops = g.peak_ops_per_sec(204, 2.5e9) / 1e12;
+        assert!((tops - 28.1).abs() < 0.2, "got {tops} TOP/s");
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let s = CacheGeometry::xeon_e5_2697_v3().to_string();
+        assert!(s.contains("35.0 MB"));
+        assert!(s.contains("1146880"));
+    }
+}

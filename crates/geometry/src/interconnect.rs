@@ -1,0 +1,168 @@
+//! Deterministic transfer-time models for the inter-slice ring and the
+//! intra-slice data bus (Section IV-C).
+//!
+//! Filter weights loaded from DRAM are broadcast to every slice over the
+//! bidirectional ring and to every way over the intra-slice bus. Inputs
+//! stream from the reserved way over the slice's 256-bit data bus, which is
+//! composed of four 64-bit quadrant buses; two arrays sharing sense amps
+//! receive 32 bits per bus cycle, and a 64-bit latch at each bank lets a
+//! transfer serve two array pairs, halving input delivery time.
+
+use crate::{CacheGeometry, SimTime};
+
+/// Bandwidth model of the on-chip interconnect in compute mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectModel {
+    /// Bytes one ring link moves per cycle (256-bit links: 32 B).
+    pub ring_bytes_per_cycle: usize,
+    /// Width of the intra-slice data bus in bits (Xeon E5: 256).
+    pub bus_bits_per_slice: usize,
+    /// Number of independent quadrant buses composing the slice bus (4).
+    pub quadrant_buses: usize,
+    /// Whether the per-bank 64-bit input latch is present (halves input
+    /// streaming time, Section IV-C).
+    pub bank_latch: bool,
+    /// Clock of ring and buses while the cache computes, Hz (2.5 GHz).
+    pub freq_hz: f64,
+}
+
+impl InterconnectModel {
+    /// The paper's Xeon E5 interconnect operating point.
+    #[must_use]
+    pub const fn paper() -> Self {
+        InterconnectModel {
+            ring_bytes_per_cycle: 32,
+            bus_bits_per_slice: 256,
+            quadrant_buses: 4,
+            bank_latch: true,
+            freq_hz: 2.5e9,
+        }
+    }
+
+    /// Bytes the intra-slice bus delivers per cycle.
+    #[must_use]
+    pub fn bus_bytes_per_cycle(&self) -> usize {
+        self.bus_bits_per_slice / 8
+    }
+
+    /// Effective input-delivery bytes per cycle per slice, including the
+    /// bank-latch doubling.
+    #[must_use]
+    pub fn effective_input_bytes_per_cycle(&self) -> usize {
+        self.bus_bytes_per_cycle() * if self.bank_latch { 2 } else { 1 }
+    }
+
+    /// Time to broadcast `bytes` to **all** slices over the ring.
+    ///
+    /// Both ring directions carry a pipelined broadcast, so the time is
+    /// bounded by link bandwidth, not by hop count (the fill is streamed,
+    /// each datum visits every slice).
+    #[must_use]
+    pub fn ring_broadcast_time(&self, bytes: usize) -> SimTime {
+        let cycles = bytes.div_ceil(self.ring_bytes_per_cycle) as u64;
+        SimTime::from_cycles(cycles, self.freq_hz)
+    }
+
+    /// Time for one slice's bus to deliver `bytes` into its arrays
+    /// (broadcast within the slice counts once; distinct destinations
+    /// serialize). All slices stream in parallel, so a per-slice time is
+    /// also the cache-wide time when work is balanced.
+    #[must_use]
+    pub fn slice_stream_time(&self, bytes: usize) -> SimTime {
+        let per_cycle = self.effective_input_bytes_per_cycle();
+        let cycles = bytes.div_ceil(per_cycle) as u64;
+        SimTime::from_cycles(cycles, self.freq_hz)
+    }
+
+    /// Time for one slice's bus to move `bytes` without the input latch
+    /// optimization (output transfers to the reserved way).
+    #[must_use]
+    pub fn slice_transfer_time(&self, bytes: usize) -> SimTime {
+        let cycles = bytes.div_ceil(self.bus_bytes_per_cycle()) as u64;
+        SimTime::from_cycles(cycles, self.freq_hz)
+    }
+
+    /// Aggregate input-streaming bandwidth of the whole cache, bytes/s.
+    #[must_use]
+    pub fn total_input_bandwidth(&self, geometry: &CacheGeometry) -> f64 {
+        self.effective_input_bytes_per_cycle() as f64 * self.freq_hz * geometry.slices as f64
+    }
+
+    /// Dynamic interconnect energy for moving `bytes` across the slice bus,
+    /// joules. A flat per-byte constant (on-chip wire energy) used by the
+    /// system energy model.
+    #[must_use]
+    pub fn bus_energy_joules(&self, bytes: usize) -> f64 {
+        const BUS_PJ_PER_BYTE: f64 = 1.1;
+        bytes as f64 * BUS_PJ_PER_BYTE * 1e-12
+    }
+
+    /// Dynamic ring energy for moving `bytes` across the inter-slice ring,
+    /// joules (longer wires than the slice bus).
+    #[must_use]
+    pub fn ring_energy_joules(&self, bytes: usize) -> f64 {
+        const RING_PJ_PER_BYTE: f64 = 4.5;
+        bytes as f64 * RING_PJ_PER_BYTE * 1e-12
+    }
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        InterconnectModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidths() {
+        let ic = InterconnectModel::paper();
+        assert_eq!(ic.bus_bytes_per_cycle(), 32);
+        assert_eq!(ic.effective_input_bytes_per_cycle(), 64);
+        let g = CacheGeometry::xeon_e5_2697_v3();
+        // 64 B/cycle * 2.5 GHz * 14 slices = 2.24 TB/s aggregate.
+        let bw = ic.total_input_bandwidth(&g);
+        assert!((bw - 2.24e12).abs() / 2.24e12 < 1e-9);
+    }
+
+    #[test]
+    fn ring_broadcast_scales_with_bytes() {
+        let ic = InterconnectModel::paper();
+        let t1 = ic.ring_broadcast_time(1 << 20);
+        let t2 = ic.ring_broadcast_time(2 << 20);
+        assert!((t2.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 1e-6);
+        // 1 MiB over a 32 B/cycle link at 2.5 GHz = 13.1 us.
+        assert!((t1.as_micros_f64() - 13.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn latch_halves_input_time() {
+        let with = InterconnectModel::paper();
+        let without = InterconnectModel {
+            bank_latch: false,
+            ..InterconnectModel::paper()
+        };
+        let b = 100_000;
+        let r = without.slice_stream_time(b) / with.slice_stream_time(b);
+        assert!((r - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn transfer_rounds_up_to_cycles() {
+        let ic = InterconnectModel::paper();
+        assert_eq!(
+            ic.slice_transfer_time(1).as_secs_f64(),
+            ic.slice_transfer_time(32).as_secs_f64()
+        );
+        assert!(ic.slice_transfer_time(33) > ic.slice_transfer_time(32));
+    }
+
+    #[test]
+    fn energy_monotone_in_bytes() {
+        let ic = InterconnectModel::paper();
+        assert!(ic.bus_energy_joules(2000) > ic.bus_energy_joules(1000));
+        assert!(ic.ring_energy_joules(1000) > ic.bus_energy_joules(1000));
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation time as a strongly-typed seconds value.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time, stored in seconds.
+///
+/// A newtype rather than `std::time::Duration` because model arithmetic
+/// (scaling by utilization factors, dividing times for speedups) is
+/// floating-point, and sub-nanosecond precision matters at 2.5 GHz.
+///
+/// # Examples
+///
+/// ```
+/// use nc_geometry::SimTime;
+///
+/// let cycle = SimTime::from_cycles(2500, 2.5e9);
+/// assert!((cycle.as_micros_f64() - 1.0).abs() < 1e-12);
+/// let doubled = cycle + cycle;
+/// assert_eq!(doubled, cycle * 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time span from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    #[must_use]
+    pub fn from_secs(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "time must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// Creates a time span from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime::from_secs(ms * 1e-3)
+    }
+
+    /// Time taken by `cycles` cycles at `freq_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    #[must_use]
+    pub fn from_cycles(cycles: u64, freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        SimTime(cycles as f64 / freq_hz)
+    }
+
+    /// The span in seconds.
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The span in microseconds.
+    #[must_use]
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Number of cycles this span covers at `freq_hz`, rounded up.
+    #[must_use]
+    pub fn cycles_at(&self, freq_hz: f64) -> u64 {
+        (self.0 * freq_hz).ceil() as u64
+    }
+
+    /// Larger of two spans.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Difference of two spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "negative time span");
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+    /// Ratio of two spans (e.g. a speedup).
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else if self.0 >= 1e-6 {
+            write!(f, "{:.3} us", self.0 * 1e6)
+        } else {
+            write!(f, "{:.1} ns", self.0 * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = SimTime::from_millis(4.72);
+        assert!((t.as_secs_f64() - 0.00472).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 4.72).abs() < 1e-9);
+        assert_eq!(SimTime::from_cycles(2_500_000, 2.5e9).as_millis_f64(), 1.0);
+        assert_eq!(t.cycles_at(2.5e9), 11_800_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(2.0);
+        let b = SimTime::from_millis(1.0);
+        assert_eq!((a + b).as_millis_f64(), 3.0);
+        assert_eq!((a - b).as_millis_f64(), 1.0);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((a * 3.0).as_millis_f64(), 6.0);
+        assert_eq!((a / 2.0).as_millis_f64(), 1.0);
+        let total: SimTime = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_millis_f64(), 4.0);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(2.0)), "2.000 s");
+        assert_eq!(format!("{}", SimTime::from_millis(4.7)), "4.700 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3e-6)), "3.000 us");
+        assert_eq!(format!("{}", SimTime::from_secs(4e-9)), "4.0 ns");
+    }
+}

@@ -1,0 +1,141 @@
+//! Error type shared by all fallible SRAM array operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when validating bit-serial operations against the physical
+/// constraints of a 256x256 compute SRAM array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// A row index exceeded the 256 word lines of the array.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+    },
+    /// A column (bit line / lane) index exceeded the 256 bit lines.
+    ColOutOfRange {
+        /// Offending column index.
+        col: usize,
+    },
+    /// An operand would extend past the last word line.
+    OperandOutOfRange {
+        /// First row of the operand.
+        base: usize,
+        /// Bit width of the operand.
+        bits: usize,
+    },
+    /// An operand was declared with zero bits.
+    EmptyOperand,
+    /// Two operands overlap in a way the micro-op sequence cannot tolerate
+    /// (partial overlap; exact aliasing is allowed where documented).
+    OverlappingOperands {
+        /// Human-readable description of the conflicting operands.
+        what: &'static str,
+    },
+    /// Destination operand is too narrow to hold the result.
+    DestinationTooNarrow {
+        /// Bits required by the result.
+        needed: usize,
+        /// Bits available in the destination.
+        available: usize,
+    },
+    /// A compute micro-op attempted to activate the same word line twice.
+    ///
+    /// The test-chip guarantees no data corruption for simultaneous
+    /// activation of *distinct* word lines; activating one row against itself
+    /// is meaningless in the analog sensing scheme.
+    SelfActivation {
+        /// The row that was activated against itself.
+        row: usize,
+    },
+    /// The operation requires the array's dedicated all-zero row, but none
+    /// was configured via [`ComputeArray::set_zero_row`].
+    ///
+    /// [`ComputeArray::set_zero_row`]: crate::ComputeArray::set_zero_row
+    MissingZeroRow,
+    /// An operation would overwrite the configured all-zero row.
+    ZeroRowClobbered {
+        /// Row index of the configured zero row.
+        row: usize,
+    },
+    /// The reduction tree requires a power-of-two lane count.
+    NonPowerOfTwoLanes {
+        /// Number of lanes requested.
+        lanes: usize,
+    },
+    /// Division by a zero divisor was requested on at least one active lane.
+    DivisionByZero {
+        /// First lane with a zero divisor.
+        lane: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::RowOutOfRange { row } => {
+                write!(f, "row {row} exceeds the 256 word lines of the array")
+            }
+            SramError::ColOutOfRange { col } => {
+                write!(f, "column {col} exceeds the 256 bit lines of the array")
+            }
+            SramError::OperandOutOfRange { base, bits } => write!(
+                f,
+                "operand spanning rows {base}..{} does not fit in 256 word lines",
+                base + bits
+            ),
+            SramError::EmptyOperand => write!(f, "operand must be at least one bit wide"),
+            SramError::OverlappingOperands { what } => {
+                write!(f, "operands overlap: {what}")
+            }
+            SramError::DestinationTooNarrow { needed, available } => write!(
+                f,
+                "destination holds {available} bits but the result needs {needed}"
+            ),
+            SramError::SelfActivation { row } => {
+                write!(f, "compute cycle activated word line {row} against itself")
+            }
+            SramError::MissingZeroRow => {
+                write!(f, "operation requires a dedicated all-zero row; none configured")
+            }
+            SramError::ZeroRowClobbered { row } => {
+                write!(f, "operation would overwrite the dedicated zero row {row}")
+            }
+            SramError::NonPowerOfTwoLanes { lanes } => {
+                write!(f, "tree reduction requires a power-of-two lane count, got {lanes}")
+            }
+            SramError::DivisionByZero { lane } => {
+                write!(f, "division by zero on lane {lane}")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            SramError::RowOutOfRange { row: 300 },
+            SramError::EmptyOperand,
+            SramError::MissingZeroRow,
+            SramError::DivisionByZero { lane: 3 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SramError>();
+    }
+}

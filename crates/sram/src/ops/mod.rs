@@ -1,0 +1,27 @@
+//! High-level bit-serial operations composed from single-cycle micro-ops.
+//!
+//! Every operation in this module is implemented as a sequence of the
+//! [`ComputeArray`](crate::ComputeArray) micro-ops (plus, for lane moves, the
+//! sense-amp-cycling model of [`LANE_MOVE_CYCLES_PER_ROW`]), so its cycle count is
+//! *derived from the micro-op sequence* rather than asserted. Each operation
+//! returns the [`CycleStats`](crate::CycleStats) delta it consumed; the
+//! `neural-cache` crate's `DerivedCostModel` is calibrated directly against
+//! these deltas (and a test asserts they stay in sync).
+//!
+//! Paper cost reference (Section III): addition `n+1`, multiplication
+//! `n^2+5n-2`, division `1.5n^2+5.5n`. The derived sequences here are close
+//! but not identical (see `DESIGN.md` §6); both cost models are available to
+//! the timing simulator.
+
+mod add;
+mod cmp;
+mod div;
+mod logic;
+mod mul;
+mod reduce;
+mod transfer;
+
+pub use div::div_scratch_bits;
+pub use logic::LogicOp;
+pub use reduce::LANE_MOVE_CYCLES_PER_ROW;
+pub use transfer::copy_lanes_between;

@@ -1,0 +1,198 @@
+//! Bit-serial multiplication via predicated shifted adds (Section III-C,
+//! Figure 6).
+
+use crate::{ComputeArray, CycleStats, Operand, Predicate, Result, SramError};
+
+impl ComputeArray {
+    /// Vector multiplication `prod <- a * b` on every lane.
+    ///
+    /// For each multiplier bit `j` (LSB first), the multiplier bit is loaded
+    /// into the tag latch and the multiplicand is conditionally added into
+    /// the partial product at offset `j`; the round's carry-out is stored
+    /// into `prod[j + n]` (tag-gated) before the next round. This is the
+    /// Figure 6 algorithm with the carry correctly committed at each round
+    /// boundary.
+    ///
+    /// Cycle count (derived): `prod.bits()` zeroing + `m * (n + 2)` where
+    /// `n = a.bits()`, `m = b.bits()`. For n = m it is `n^2 + 4n` including
+    /// initialization — the paper quotes `n^2 + 5n - 2`, which matches at
+    /// n = 2 (the published walkthrough) and differs by `n - 2` cycles for
+    /// wider operands; see DESIGN.md §6.
+    ///
+    /// The tag and carry latches are clobbered.
+    ///
+    /// # Errors
+    ///
+    /// `prod` must hold at least `n + m` bits and be disjoint from both
+    /// inputs; inputs must not overlap each other.
+    pub fn mul(&mut self, a: Operand, b: Operand, prod: Operand) -> Result<CycleStats> {
+        let (n, m) = (a.bits(), b.bits());
+        if prod.bits() < n + m {
+            return Err(SramError::DestinationTooNarrow {
+                needed: n + m,
+                available: prod.bits(),
+            });
+        }
+        if a.overlaps(&b) {
+            return Err(SramError::OverlappingOperands {
+                what: "multiplication inputs overlap",
+            });
+        }
+        if prod.overlaps(&a) || prod.overlaps(&b) {
+            return Err(SramError::OverlappingOperands {
+                what: "product region overlaps an input",
+            });
+        }
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..m {
+            self.op_load_tag(b.row(j))?;
+            self.preset_carry(false);
+            for i in 0..n {
+                self.op_full_add(a.row(i), prod.row(j + i), prod.row(j + i), Predicate::Tag)?;
+            }
+            self.op_write_carry(prod.row(j + n), Predicate::Tag)?;
+        }
+        Ok(self.stats() - before)
+    }
+
+    /// In-place broadcast-scalar multiplication `prod <- a * k`.
+    ///
+    /// The constant lives in the control FSM, so no tag loads are needed:
+    /// for every set bit `j` of `k` the multiplicand is added into
+    /// `prod[j..]` with full carry propagation to the top of the product
+    /// region. Used by the requantization pipeline (Section IV-D), where the
+    /// CPU returns scalar multipliers applied in-cache.
+    ///
+    /// # Errors
+    ///
+    /// `prod` must hold `a.bits() + bit_length(k)` bits and be disjoint from
+    /// `a`.
+    pub fn mul_scalar(&mut self, a: Operand, k: u64, prod: Operand) -> Result<CycleStats> {
+        let n = a.bits();
+        let klen = (64 - k.leading_zeros()) as usize;
+        if k != 0 && prod.bits() < n + klen {
+            return Err(SramError::DestinationTooNarrow {
+                needed: n + klen,
+                available: prod.bits(),
+            });
+        }
+        if prod.overlaps(&a) {
+            return Err(SramError::OverlappingOperands {
+                what: "product region overlaps the multiplicand",
+            });
+        }
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..klen {
+            if (k >> j) & 1 == 1 {
+                let window = prod.slice(j, prod.bits() - j).expect("validated width");
+                self.add_assign(window, a)?;
+            }
+        }
+        Ok(self.stats() - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> ComputeArray {
+        ComputeArray::with_zero_row(255).unwrap()
+    }
+
+    #[test]
+    fn figure6_walkthrough_2bit() {
+        // The paper's Figure 6 multiplies 2-bit vectors; with the published
+        // operands A = [3,1,3,2] (multiplicand) and B = [3,2,1,2] we expect
+        // the 4-bit products [9,2,3,4].
+        let mut arr = arr();
+        let a = Operand::new(0, 2).unwrap();
+        let b = Operand::new(2, 2).unwrap();
+        let p = Operand::new(4, 4).unwrap();
+        let cases = [(3u64, 3u64), (1, 2), (3, 1), (2, 2)];
+        for (lane, (x, y)) in cases.iter().enumerate() {
+            arr.poke_lane(lane, a, *x);
+            arr.poke_lane(lane, b, *y);
+        }
+        let d = arr.mul(a, b, p).unwrap();
+        // Derived cost: 4 (zero) + 2 rounds * (1 + 2 + 1) = 12 cycles,
+        // which equals the paper's n^2 + 5n - 2 at n = 2.
+        assert_eq!(d.compute_cycles, 12);
+        for (lane, (x, y)) in cases.iter().enumerate() {
+            assert_eq!(arr.peek_lane(lane, p), x * y, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn eight_bit_exhaustive_corners() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let interesting = [0u64, 1, 2, 3, 127, 128, 200, 255];
+        for &x in &interesting {
+            for (lane, &y) in interesting.iter().enumerate() {
+                arr.poke_lane(lane, a, x);
+                arr.poke_lane(lane, b, y);
+            }
+            arr.mul(a, b, p).unwrap();
+            for (lane, &y) in interesting.iter().enumerate() {
+                assert_eq!(arr.peek_lane(lane, p), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_cost_formula() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let d = arr.mul(a, b, p).unwrap();
+        // prod.bits() + m*(n+2) = 16 + 8*10 = 96 = n^2 + 4n for n = 8.
+        assert_eq!(d.compute_cycles, 96);
+    }
+
+    #[test]
+    fn mixed_width_multiply() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 4).unwrap();
+        let p = Operand::new(16, 12).unwrap();
+        arr.poke_lane(0, a, 250);
+        arr.poke_lane(0, b, 15);
+        arr.mul(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 3750);
+    }
+
+    #[test]
+    fn mul_scalar_matches() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let p = Operand::new(8, 24).unwrap();
+        for (lane, v) in [0u64, 1, 100, 255].into_iter().enumerate() {
+            arr.poke_lane(lane, a, v);
+        }
+        arr.mul_scalar(a, 181, p).unwrap();
+        for (lane, v) in [0u64, 1, 100, 255].into_iter().enumerate() {
+            assert_eq!(arr.peek_lane(lane, p), v * 181);
+        }
+        // k = 0 zeroes the product.
+        arr.mul_scalar(a, 0, p).unwrap();
+        assert_eq!(arr.peek_lane(3, p), 0);
+    }
+
+    #[test]
+    fn rejects_narrow_product() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 15).unwrap();
+        assert!(matches!(
+            arr.mul(a, b, p),
+            Err(SramError::DestinationTooNarrow { .. })
+        ));
+    }
+}

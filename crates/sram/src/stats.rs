@@ -1,0 +1,224 @@
+//! Cycle accounting and the paper's per-cycle timing/energy constants.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Cycle counters for one compute array (or an aggregate of arrays).
+///
+/// Neural Cache distinguishes two cycle types with different delay and
+/// energy (paper Section V):
+///
+/// - **compute cycles**: two-row activation + write-back (1022 ps, 15.4 pJ at
+///   22 nm for 256 bit lines);
+/// - **access cycles**: conventional single-row SRAM reads/writes used for
+///   data streaming (654 ps, 8.6 pJ at 22 nm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct CycleStats {
+    /// Number of two-row compute cycles executed.
+    pub compute_cycles: u64,
+    /// Number of conventional access cycles executed.
+    pub access_cycles: u64,
+}
+
+impl CycleStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub const fn new() -> Self {
+        CycleStats {
+            compute_cycles: 0,
+            access_cycles: 0,
+        }
+    }
+
+    /// Total cycles of either kind.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.access_cycles
+    }
+
+    /// Wall-clock seconds under the given timing model, with every cycle
+    /// issued at the compute-mode frequency (the conservative clock Neural
+    /// Cache runs while any array is computing).
+    #[must_use]
+    pub fn seconds(&self, timings: &ArrayTimings) -> f64 {
+        self.total_cycles() as f64 / timings.compute_freq_hz
+    }
+
+    /// Energy in joules consumed by this many cycles of one array under the
+    /// given energy model.
+    #[must_use]
+    pub fn energy_joules(&self, energy: &ArrayEnergy) -> f64 {
+        (self.compute_cycles as f64 * energy.compute_cycle_pj
+            + self.access_cycles as f64 * energy.access_cycle_pj)
+            * 1e-12
+    }
+}
+
+impl Add for CycleStats {
+    type Output = CycleStats;
+    fn add(self, rhs: CycleStats) -> CycleStats {
+        CycleStats {
+            compute_cycles: self.compute_cycles + rhs.compute_cycles,
+            access_cycles: self.access_cycles + rhs.access_cycles,
+        }
+    }
+}
+
+impl AddAssign for CycleStats {
+    fn add_assign(&mut self, rhs: CycleStats) {
+        self.compute_cycles += rhs.compute_cycles;
+        self.access_cycles += rhs.access_cycles;
+    }
+}
+
+impl Sub for CycleStats {
+    type Output = CycleStats;
+    /// Difference between two counter snapshots (used to report the cycles a
+    /// single high-level operation consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is not an earlier snapshot of `self`.
+    fn sub(self, rhs: CycleStats) -> CycleStats {
+        debug_assert!(self.compute_cycles >= rhs.compute_cycles);
+        debug_assert!(self.access_cycles >= rhs.access_cycles);
+        CycleStats {
+            compute_cycles: self.compute_cycles - rhs.compute_cycles,
+            access_cycles: self.access_cycles - rhs.access_cycles,
+        }
+    }
+}
+
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} compute + {} access cycles",
+            self.compute_cycles, self.access_cycles
+        )
+    }
+}
+
+/// Per-cycle delay constants for the compute SRAM array.
+///
+/// The paper's SPICE simulation of the 28 nm computational 8KB array gives a
+/// 1022 ps compute cycle (vs. 654 ps for a normal read from the foundry
+/// memory compiler — about 1.6x slower), and Neural Cache conservatively
+/// clocks compute at 2.5 GHz while the Xeon arrays are rated for 4 GHz
+/// normal accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayTimings {
+    /// Clock used while the cache is in compute mode, in hertz.
+    pub compute_freq_hz: f64,
+    /// Clock of conventional cache accesses, in hertz.
+    pub access_freq_hz: f64,
+    /// SPICE-simulated compute-cycle latency, picoseconds.
+    pub compute_delay_ps: f64,
+    /// Foundry-compiler normal read latency, picoseconds.
+    pub read_delay_ps: f64,
+}
+
+impl ArrayTimings {
+    /// The paper's operating point: 2.5 GHz compute, 4 GHz access.
+    #[must_use]
+    pub const fn paper() -> Self {
+        ArrayTimings {
+            compute_freq_hz: 2.5e9,
+            access_freq_hz: 4.0e9,
+            compute_delay_ps: 1022.0,
+            read_delay_ps: 654.0,
+        }
+    }
+
+    /// Ratio of compute-cycle latency to a normal read (paper: ~1.6x).
+    #[must_use]
+    pub fn compute_slowdown(&self) -> f64 {
+        self.compute_delay_ps / self.read_delay_ps
+    }
+}
+
+impl Default for ArrayTimings {
+    fn default() -> Self {
+        ArrayTimings::paper()
+    }
+}
+
+/// Per-cycle energy constants for one 256-bit-line array operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayEnergy {
+    /// Energy of one compute cycle over 256 bit lines, picojoules.
+    pub compute_cycle_pj: f64,
+    /// Energy of one conventional 256-bit access cycle, picojoules.
+    pub access_cycle_pj: f64,
+}
+
+impl ArrayEnergy {
+    /// SPICE-simulated values at the 28 nm test-chip node.
+    #[must_use]
+    pub const fn node_28nm() -> Self {
+        ArrayEnergy {
+            compute_cycle_pj: 25.7,
+            access_cycle_pj: 13.9,
+        }
+    }
+
+    /// Values scaled to the Xeon E5-2697 v3's 22 nm node (used for all
+    /// Neural Cache results in the paper).
+    #[must_use]
+    pub const fn node_22nm() -> Self {
+        ArrayEnergy {
+            compute_cycle_pj: 15.4,
+            access_cycle_pj: 8.6,
+        }
+    }
+}
+
+impl Default for ArrayEnergy {
+    fn default() -> Self {
+        ArrayEnergy::node_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = CycleStats::new();
+        s += CycleStats {
+            compute_cycles: 10,
+            access_cycles: 2,
+        };
+        let t = s + CycleStats {
+            compute_cycles: 5,
+            access_cycles: 0,
+        };
+        assert_eq!(t.compute_cycles, 15);
+        assert_eq!(t.access_cycles, 2);
+        assert_eq!(t.total_cycles(), 17);
+    }
+
+    #[test]
+    fn paper_constants() {
+        let t = ArrayTimings::paper();
+        assert!((t.compute_slowdown() - 1.5627).abs() < 1e-3);
+        let e22 = ArrayEnergy::node_22nm();
+        assert_eq!(e22.compute_cycle_pj, 15.4);
+        assert_eq!(e22.access_cycle_pj, 8.6);
+        let e28 = ArrayEnergy::node_28nm();
+        assert!(e28.compute_cycle_pj > e22.compute_cycle_pj);
+    }
+
+    #[test]
+    fn energy_and_time_conversions() {
+        let s = CycleStats {
+            compute_cycles: 1_000_000,
+            access_cycles: 0,
+        };
+        let e = s.energy_joules(&ArrayEnergy::node_22nm());
+        assert!((e - 15.4e-6).abs() < 1e-12);
+        let secs = s.seconds(&ArrayTimings::paper());
+        assert!((secs - 4.0e-4).abs() < 1e-9);
+    }
+}

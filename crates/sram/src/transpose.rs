@@ -1,0 +1,271 @@
+//! Transpose Memory Unit (TMU): the 8T-SRAM gateway between bit-parallel and
+//! transposed layouts (Section III-F, Figure 8).
+//!
+//! A TMU is a small SRAM array whose 8T bit cells can be read and written in
+//! both the horizontal and the vertical direction. Data arriving from the
+//! interconnect in the conventional element-per-row layout is written
+//! horizontally and read out vertically as bit slices ready for the compute
+//! arrays — or vice versa when results leave the cache. A few TMUs placed in
+//! the cache-control box saturate the available interconnect bandwidth.
+
+use std::fmt;
+
+use crate::{BitRow, CycleStats, Result, SramError, COLS};
+
+/// Width (elements) and height (bits) of one hardware TMU tile.
+///
+/// The Figure 8 design is drawn as an 8T array sized for byte elements; we
+/// model a 64x64-bit tile (64 elements of up to 64 bits), matching the
+/// 64-bit quadrant buses that feed it.
+pub const TMU_TILE_DIM: usize = 64;
+
+/// A transpose memory unit converting between bit-parallel and transposed
+/// data layouts.
+///
+/// # Examples
+///
+/// ```
+/// use nc_sram::TransposeUnit;
+///
+/// let mut tmu = TransposeUnit::new(8);
+/// let elements = [1u64, 2, 3, 250];
+/// tmu.load_regular(&elements)?;
+/// // Bit-slice 1 holds the second bit of every element: 0,1,1,1.
+/// let slice = tmu.read_bit_slice(1)?;
+/// assert_eq!((0..4).map(|i| u8::from(slice.get(i))).collect::<Vec<_>>(), vec![0, 1, 1, 1]);
+/// # Ok::<(), nc_sram::SramError>(())
+/// ```
+#[derive(Clone)]
+pub struct TransposeUnit {
+    bits_per_element: usize,
+    /// cells[element][bit]
+    cells: Vec<u64>,
+    elements: usize,
+    stats: CycleStats,
+}
+
+impl TransposeUnit {
+    /// Creates a TMU handling elements of `bits_per_element` bits (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_element` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(bits_per_element: usize) -> Self {
+        assert!(
+            (1..=64).contains(&bits_per_element),
+            "TMU element width must be 1..=64 bits"
+        );
+        TransposeUnit {
+            bits_per_element,
+            cells: vec![0; COLS],
+            elements: 0,
+            stats: CycleStats::new(),
+        }
+    }
+
+    /// Element width this TMU was configured for.
+    #[must_use]
+    pub fn bits_per_element(&self) -> usize {
+        self.bits_per_element
+    }
+
+    /// Number of elements currently loaded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements
+    }
+
+    /// Returns `true` when no elements are loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements == 0
+    }
+
+    /// Access-cycle statistics of this unit.
+    #[must_use]
+    pub fn stats(&self) -> CycleStats {
+        self.stats
+    }
+
+    /// Loads up to 256 elements in the regular (bit-parallel) direction,
+    /// one access cycle per element row.
+    ///
+    /// # Errors
+    ///
+    /// Fails if more than 256 elements are supplied or an element overflows
+    /// the configured width.
+    pub fn load_regular(&mut self, elements: &[u64]) -> Result<()> {
+        if elements.len() > COLS {
+            return Err(SramError::ColOutOfRange {
+                col: elements.len(),
+            });
+        }
+        let max = if self.bits_per_element == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits_per_element) - 1
+        };
+        for (i, &e) in elements.iter().enumerate() {
+            if e > max {
+                return Err(SramError::DestinationTooNarrow {
+                    needed: (64 - e.leading_zeros()) as usize,
+                    available: self.bits_per_element,
+                });
+            }
+            self.cells[i] = e;
+            self.stats.access_cycles += 1;
+        }
+        for c in self.cells.iter_mut().skip(elements.len()) {
+            *c = 0;
+        }
+        self.elements = elements.len();
+        Ok(())
+    }
+
+    /// Reads bit-slice `bit` in the transposed direction: bit `bit` of every
+    /// loaded element, packed into a [`BitRow`] (element `i` on column `i`).
+    /// One access cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bit` exceeds the configured element width.
+    pub fn read_bit_slice(&mut self, bit: usize) -> Result<BitRow> {
+        if bit >= self.bits_per_element {
+            return Err(SramError::RowOutOfRange { row: bit });
+        }
+        self.stats.access_cycles += 1;
+        Ok(BitRow::from_fn(|col| (self.cells[col] >> bit) & 1 == 1))
+    }
+
+    /// Writes bit-slice `bit` in the transposed direction (one access
+    /// cycle), the inverse path used when results leave the compute arrays.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bit` exceeds the configured element width.
+    pub fn write_bit_slice(&mut self, bit: usize, slice: &BitRow) -> Result<()> {
+        if bit >= self.bits_per_element {
+            return Err(SramError::RowOutOfRange { row: bit });
+        }
+        for col in 0..COLS {
+            let mask = 1u64 << bit;
+            if slice.get(col) {
+                self.cells[col] |= mask;
+            } else {
+                self.cells[col] &= !mask;
+            }
+        }
+        self.elements = self.elements.max(COLS);
+        self.stats.access_cycles += 1;
+        Ok(())
+    }
+
+    /// Reads element `i` back in the regular direction (one access cycle).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `i` exceeds 256 columns.
+    pub fn read_regular(&mut self, i: usize) -> Result<u64> {
+        if i >= COLS {
+            return Err(SramError::ColOutOfRange { col: i });
+        }
+        self.stats.access_cycles += 1;
+        Ok(self.cells[i])
+    }
+
+    /// Convenience: transposes a byte slice into `8` bit-slice rows in one
+    /// call (used when streaming quantized inputs through the C-BOX).
+    ///
+    /// # Errors
+    ///
+    /// Fails if more than 256 bytes are supplied or the unit is not
+    /// byte-configured.
+    pub fn transpose_bytes(&mut self, bytes: &[u8]) -> Result<Vec<BitRow>> {
+        if self.bits_per_element != 8 {
+            return Err(SramError::DestinationTooNarrow {
+                needed: 8,
+                available: self.bits_per_element,
+            });
+        }
+        let words: Vec<u64> = bytes.iter().map(|&b| u64::from(b)).collect();
+        self.load_regular(&words)?;
+        (0..8).map(|b| self.read_bit_slice(b)).collect()
+    }
+}
+
+impl fmt::Debug for TransposeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TransposeUnit {{ bits_per_element: {}, elements: {} }}",
+            self.bits_per_element, self.elements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_regular_to_transposed_and_back() {
+        let mut tmu = TransposeUnit::new(8);
+        let data: Vec<u64> = (0..256).map(|i| (i * 7 % 256) as u64).collect();
+        tmu.load_regular(&data).unwrap();
+        // Reconstruct elements from bit slices.
+        let slices: Vec<BitRow> = (0..8).map(|b| tmu.read_bit_slice(b).unwrap()).collect();
+        for (i, &want) in data.iter().enumerate() {
+            let mut got = 0u64;
+            for (b, slice) in slices.iter().enumerate() {
+                if slice.get(i) {
+                    got |= 1 << b;
+                }
+            }
+            assert_eq!(got, want, "element {i}");
+        }
+        // And back through the regular port.
+        for (i, &want) in data.iter().enumerate() {
+            assert_eq!(tmu.read_regular(i).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn write_bit_slices_then_read_regular() {
+        let mut tmu = TransposeUnit::new(4);
+        for bit in 0..4 {
+            // Value 0b1010 on every even column, 0b0101 on odd.
+            let slice = BitRow::from_fn(|c| ((0b1010 >> bit) & 1 == 1) == (c % 2 == 0));
+            tmu.write_bit_slice(bit, &slice).unwrap();
+        }
+        assert_eq!(tmu.read_regular(0).unwrap(), 0b1010);
+        assert_eq!(tmu.read_regular(1).unwrap(), 0b0101);
+    }
+
+    #[test]
+    fn rejects_oversized_elements() {
+        let mut tmu = TransposeUnit::new(4);
+        assert!(tmu.load_regular(&[16]).is_err());
+        assert!(tmu.load_regular(&[15]).is_ok());
+        assert!(tmu.read_bit_slice(4).is_err());
+    }
+
+    #[test]
+    fn transpose_bytes_convenience() {
+        let mut tmu = TransposeUnit::new(8);
+        let rows = tmu.transpose_bytes(&[0xFF, 0x00, 0xA5]).unwrap();
+        assert_eq!(rows.len(), 8);
+        assert!(rows[0].get(0));
+        assert!(!rows[0].get(1));
+        assert!(rows[0].get(2)); // 0xA5 bit 0 = 1
+        assert!(!rows[1].get(2)); // 0xA5 bit 1 = 0
+    }
+
+    #[test]
+    fn counts_access_cycles() {
+        let mut tmu = TransposeUnit::new(8);
+        tmu.load_regular(&[1, 2, 3]).unwrap();
+        let _ = tmu.read_bit_slice(0).unwrap();
+        assert_eq!(tmu.stats().access_cycles, 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Functional cross-validation (the paper's Section V trace matching): run
+//! a CNN both on the plain-Rust golden executor and bit-accurately on
+//! simulated compute SRAM arrays, and verify the outputs and every
+//! requantization decision agree exactly.
+//!
+//! Run with: `cargo run --release --example bit_exact_validation`
+
+use neural_cache_repro::cache::functional;
+use neural_cache_repro::dnn::reference;
+use neural_cache_repro::dnn::workload::{random_input, tiny_cnn};
+
+fn main() {
+    let model = tiny_cnn(2024);
+    let input = random_input(model.input_shape, model.input_quant, 7);
+    println!("model: {model}");
+
+    println!("\nrunning golden integer executor...");
+    let golden = reference::run_model(&model, &input);
+
+    println!("running bit-serial in-cache executor...");
+    let cache = functional::run_model(&model, &input).expect("functional execution");
+
+    assert_eq!(
+        golden.output.data(),
+        cache.output.data(),
+        "outputs must agree bit-for-bit"
+    );
+    let golden_recs: Vec<_> = golden.layers.iter().flat_map(|l| &l.sublayers).collect();
+    for (ours, gold) in cache.sublayers.iter().zip(&golden_recs) {
+        assert_eq!(&ours, gold, "requantization records must agree");
+    }
+
+    println!("\nbit-exact: {} output bytes identical", golden.output.data().len());
+    println!(
+        "in-cache work: {} compute cycles + {} access cycles across all array operations",
+        cache.cycles.compute_cycles, cache.cycles.access_cycles
+    );
+    println!("per-sublayer requantization decisions:");
+    for rec in &cache.sublayers {
+        println!(
+            "  {:<22} acc range [{}, {}] -> {}",
+            rec.name, rec.acc_min, rec.acc_max, rec.requant
+        );
+    }
+    println!("\npredicted class (golden): {}", golden.argmax());
+}

@@ -1,0 +1,59 @@
+//! The paper's evaluation in miniature: per-layer latency against the
+//! calibrated CPU/GPU baselines (Figure 13), throughput vs batch size
+//! (Figure 16), and cache-capacity scaling (Table IV).
+//!
+//! Run with: `cargo run --release --example inception_evaluation`
+
+use neural_cache_repro::baselines::{cpu_xeon_e5, gpu_titan_xp};
+use neural_cache_repro::cache::{throughput_sweep, time_inference, SystemConfig};
+use neural_cache_repro::dnn::inception::inception_v3;
+
+fn main() {
+    let model = inception_v3();
+    let config = SystemConfig::xeon_e5_2697_v3();
+    let nc = time_inference(&config, &model);
+    let cpu = cpu_xeon_e5();
+    let gpu = gpu_titan_xp();
+
+    println!("== Per-layer latency (ms) ==");
+    println!("{:<18} {:>9} {:>9} {:>13}", "layer", "CPU", "GPU", "Neural Cache");
+    let cpu_layers = cpu.layer_latencies(&model);
+    let gpu_layers = gpu.layer_latencies(&model);
+    for ((layer, (_, c)), (_, g)) in nc.layers.iter().zip(&cpu_layers).zip(&gpu_layers) {
+        println!(
+            "{:<18} {:>9.3} {:>9.3} {:>13.4}",
+            layer.name,
+            c.as_millis_f64(),
+            g.as_millis_f64(),
+            layer.total().as_millis_f64()
+        );
+    }
+    println!(
+        "\ntotal: CPU {:.1} ms | GPU {:.1} ms | Neural Cache {:.2} ms  ({:.1}x / {:.1}x)",
+        cpu.total_latency().as_millis_f64(),
+        gpu.total_latency().as_millis_f64(),
+        nc.total().as_millis_f64(),
+        cpu.total_latency() / nc.total(),
+        gpu.total_latency() / nc.total(),
+    );
+
+    println!("\n== Throughput vs batch size (inferences/sec) ==");
+    let batches = [1usize, 4, 16, 64, 256];
+    let sweep = throughput_sweep(&config, &model, &batches);
+    println!("{:>6} {:>9} {:>9} {:>13}", "batch", "CPU", "GPU", "Neural Cache");
+    for (i, &b) in batches.iter().enumerate() {
+        println!(
+            "{:>6} {:>9.1} {:>9.1} {:>13.1}",
+            b,
+            cpu.throughput(b),
+            gpu.throughput(b),
+            sweep[i].throughput_ips
+        );
+    }
+
+    println!("\n== Capacity scaling (batch 1) ==");
+    for mb in [35usize, 45, 60] {
+        let t = time_inference(&SystemConfig::with_capacity_mb(mb), &model).total();
+        println!("{mb} MB: {t}");
+    }
+}

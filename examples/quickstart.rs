@@ -1,0 +1,45 @@
+//! Quickstart: time one Inception v3 inference on the paper's Xeon E5
+//! system and print the latency, phase breakdown and energy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use neural_cache_repro::cache::{NeuralCache, Phase, SystemConfig};
+use neural_cache_repro::dnn::inception::inception_v3;
+
+fn main() {
+    // The paper's system: 35 MB LLC (14 slices), 2.5 GHz compute clock,
+    // paper-published cycle costs.
+    let system = NeuralCache::new(SystemConfig::xeon_e5_2697_v3());
+    let model = inception_v3();
+
+    println!("model: {model}");
+    println!("cache: {}", system.config().geometry);
+
+    let report = system.run_inference(&model);
+    println!("\ninference latency: {}", report.total());
+
+    let breakdown = report.breakdown();
+    println!("phase breakdown:");
+    for phase in Phase::ALL {
+        println!(
+            "  {:>12}: {:>12}  ({:.1}%)",
+            phase.label(),
+            breakdown.get(phase).to_string(),
+            100.0 * breakdown.fraction(phase)
+        );
+    }
+
+    let energy = system.energy(&report);
+    println!(
+        "\nenergy: {:.3} J, average power {:.1} W, EDP {:.3e} J*s",
+        energy.total_j(),
+        energy.avg_power_w(),
+        energy.edp()
+    );
+
+    let batch = system.run_batch(&model, 16);
+    println!(
+        "batch 16: {} total, {:.0} inferences/sec (dual socket)",
+        batch.latency, batch.throughput_ips
+    );
+}
