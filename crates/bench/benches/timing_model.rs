@@ -47,5 +47,11 @@ fn bench_energy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_timing, bench_planner, bench_batching, bench_energy);
+criterion_group!(
+    benches,
+    bench_timing,
+    bench_planner,
+    bench_batching,
+    bench_energy
+);
 criterion_main!(benches);

@@ -12,6 +12,7 @@ fn main() {
         ("== Figure 14 ==", nc_bench::fig14()),
         ("== Figure 15 ==", nc_bench::fig15()),
         ("== Figure 16 ==", nc_bench::fig16()),
+        ("== Sparsity ==", nc_bench::sparsity()),
         ("== Headlines ==", nc_bench::headlines()),
     ] {
         println!("{title}");

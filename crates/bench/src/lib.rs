@@ -26,9 +26,7 @@ use nc_baselines::{cpu_xeon_e5, gpu_titan_xp, PlatformConfig};
 use nc_dnn::inception::inception_v3;
 use nc_sram::area::AreaModel;
 use nc_sram::{ComputeArray, Operand, SramArray};
-use neural_cache::{
-    energy_of, throughput_sweep, time_inference, NeuralCache, Phase, SystemConfig,
-};
+use neural_cache::{energy_of, throughput_sweep, time_inference, NeuralCache, Phase, SystemConfig};
 
 /// Table I — Inception v3 layer parameters, derived from our graph.
 #[must_use]
@@ -48,7 +46,10 @@ pub fn table1() -> String {
 #[must_use]
 pub fn table2() -> String {
     let mut out = String::from("Table II: Baseline CPU & GPU Configuration\n");
-    for c in [PlatformConfig::xeon_e5_2697_v3(), PlatformConfig::titan_xp()] {
+    for c in [
+        PlatformConfig::xeon_e5_2697_v3(),
+        PlatformConfig::titan_xp(),
+    ] {
         let _ = writeln!(
             out,
             "{}\n  frequency: {} GHz | cores: {} | process: {} nm | TDP: {} W\n  cache: {}\n  memory: {}",
@@ -132,7 +133,11 @@ pub fn fig2() -> String {
         arr.set(20, col, *b).expect("in range");
     }
     let sensed = arr.sense(10, 20).expect("two-row activation");
-    let _ = writeln!(out, "{:>6} {:>3} {:>3} | {:>7} {:>7}", "col", "A", "B", "BL=AND", "BLB=NOR");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>3} {:>3} | {:>7} {:>7}",
+        "col", "A", "B", "BL=AND", "BLB=NOR"
+    );
     for col in 0..4 {
         let _ = writeln!(
             out,
@@ -170,7 +175,12 @@ pub fn fig4_6() -> String {
         d.compute_cycles
     );
     for (lane, (x, y)) in pairs.iter().enumerate() {
-        let _ = writeln!(out, "  word {}: {x} + {y} = {}", lane + 1, arr.peek_lane(lane, sum));
+        let _ = writeln!(
+            out,
+            "  word {}: {x} + {y} = {}",
+            lane + 1,
+            arr.peek_lane(lane, sum)
+        );
     }
 
     // Figure 5: reduction of four words.
@@ -205,7 +215,12 @@ pub fn fig4_6() -> String {
         d.compute_cycles
     );
     for (lane, (x, y)) in cases.iter().enumerate() {
-        let _ = writeln!(out, "  word {}: {x} * {y} = {}", lane + 1, arr.peek_lane(lane, p));
+        let _ = writeln!(
+            out,
+            "  word {}: {x} * {y} = {}",
+            lane + 1,
+            arr.peek_lane(lane, p)
+        );
     }
     out
 }
@@ -325,7 +340,11 @@ pub fn fig16() -> String {
     let cpu = cpu_xeon_e5();
     let gpu = gpu_titan_xp();
     let mut out = String::from("Figure 16: Throughput (inferences/sec) with varying batch size\n");
-    let _ = writeln!(out, "{:>6} {:>10} {:>10} {:>13}", "batch", "CPU", "GPU", "Neural Cache");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>10} {:>13}",
+        "batch", "CPU", "GPU", "Neural Cache"
+    );
     for (i, &b) in batches.iter().enumerate() {
         let _ = writeln!(
             out,

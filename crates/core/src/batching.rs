@@ -63,8 +63,7 @@ pub fn time_batch(config: &SystemConfig, model: &nc_dnn::Model, batch: usize) ->
     }
 
     let latency = filter_time + per_image_time * batch as f64 + dump_time;
-    let throughput_ips =
-        config.sockets as f64 * batch as f64 / latency.as_secs_f64();
+    let throughput_ips = config.sockets as f64 * batch as f64 / latency.as_secs_f64();
     BatchReport {
         batch,
         latency,
@@ -83,7 +82,10 @@ pub fn throughput_sweep(
     model: &nc_dnn::Model,
     batches: &[usize],
 ) -> Vec<BatchReport> {
-    batches.iter().map(|&b| time_batch(config, model, b)).collect()
+    batches
+        .iter()
+        .map(|&b| time_batch(config, model, b))
+        .collect()
 }
 
 #[cfg(test)]

@@ -260,9 +260,8 @@ mod tests {
         // Section VI-A: 9 MACs * 236 + 660 reduction = 2784 cycles per
         // convolution at C = 32.
         let m = PaperCostModel;
-        let per_conv = 9 * m.mac_cycles()
-            + m.reduction_setup_cycles()
-            + 5 * m.reduction_step_cycles();
+        let per_conv =
+            9 * m.mac_cycles() + m.reduction_setup_cycles() + 5 * m.reduction_step_cycles();
         assert_eq!(per_conv, 2784);
     }
 

@@ -66,7 +66,10 @@ impl fmt::Display for FunctionalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FunctionalError::MissingWeights { name } => {
-                write!(f, "sub-layer {name} has no weights; build the model with weights")
+                write!(
+                    f,
+                    "sub-layer {name} has no weights; build the model with weights"
+                )
             }
             FunctionalError::Sram(e) => write!(f, "sram operation failed: {e}"),
         }
@@ -377,13 +380,7 @@ impl Exec {
                     )?;
                     for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
                         // Pass 2: ACC assembly + fused ReLU, in-cache.
-                        let acc_val = self.assemble_acc(
-                            *s1,
-                            *s2,
-                            zp_w,
-                            c0[m + g],
-                            spec.relu,
-                        )?;
+                        let acc_val = self.assemble_acc(*s1, *s2, zp_w, c0[m + g], spec.relu)?;
                         acc_values[out_shape.index(ey, ex, m + g)] = acc_val;
                     }
                     m += group_count;
@@ -484,9 +481,7 @@ impl Exec {
                 for (g, chunks) in filters.iter().enumerate() {
                     for l in 0..group_span {
                         let lane = g * group_span + l;
-                        let byte = chunks
-                            .get(lane_base + l)
-                            .map_or(0, |c| c[t]);
+                        let byte = chunks.get(lane_base + l).map_or(0, |c| c[t]);
                         arr.poke_lane(lane, filter_byte, u64::from(byte));
                     }
                 }
@@ -537,14 +532,7 @@ impl Exec {
 
     /// Assembles `ACC = S1 - zp_w*S2 + C0` in a 40-bit two's-complement
     /// region and applies the MSB-masked ReLU when fused.
-    fn assemble_acc(
-        &mut self,
-        s1: u64,
-        s2: u64,
-        zp_w: u64,
-        c0: i64,
-        relu: bool,
-    ) -> Result<i64> {
+    fn assemble_acc(&mut self, s1: u64, s2: u64, zp_w: u64, c0: i64, relu: bool) -> Result<i64> {
         const W: usize = 40;
         let s1_op = Operand::new(0, 32)?;
         let s2_op = Operand::new(32, 32)?;
@@ -853,7 +841,10 @@ fn chunk_channel_major(
 fn clamp_to_bits(v: i64, bits: usize) -> i64 {
     let lo = -(1i64 << (bits - 1));
     let hi = (1i64 << (bits - 1)) - 1;
-    debug_assert!((lo..=hi).contains(&v), "{v} exceeds {bits}-bit two's complement");
+    debug_assert!(
+        (lo..=hi).contains(&v),
+        "{v} exceeds {bits}-bit two's complement"
+    );
     v.clamp(lo, hi)
 }
 

@@ -61,8 +61,7 @@ pub fn instruction_trace(plan: &LayerPlan) -> InstructionCounts {
                 let macs = rounds * c.eff_window as u64;
                 counts.multiply += macs;
                 counts.add += macs; // accumulate into the partial sum
-                counts.reduce +=
-                    rounds * u64::from(c.reduce_steps + c.cross_array_steps);
+                counts.reduce += rounds * u64::from(c.reduce_steps + c.cross_array_steps);
                 counts.moves += rounds; // output move to the reserved way
                 counts.quantize += rounds; // requant pipeline per round
                 counts.compare += rounds; // min/max ranging per round
@@ -109,8 +108,9 @@ mod tests {
     fn traces_count_convolution_work() {
         let model = inception_v3();
         let plans = plan_model(&model, &CacheGeometry::xeon_e5_2697_v3());
-        let stem = instruction_trace(&plans[2]); // Conv2d_2b_3x3
-        // 43 rounds x 9 window bytes = 387 multiply instructions.
+        // plans[2] = Conv2d_2b_3x3: 43 rounds x 9 window bytes = 387
+        // multiply instructions.
+        let stem = instruction_trace(&plans[2]);
         assert_eq!(stem.multiply, 387);
         assert_eq!(stem.add, 387);
         assert_eq!(stem.reduce, 43 * 5);

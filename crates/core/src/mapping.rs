@@ -52,7 +52,12 @@ impl RowBudget {
     /// Total rows claimed.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.filter + self.input + self.partial + self.scratch + self.s2 + self.output
+        self.filter
+            + self.input
+            + self.partial
+            + self.scratch
+            + self.s2
+            + self.output
             + self.control
     }
 

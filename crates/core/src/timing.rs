@@ -111,7 +111,10 @@ impl PhaseBreakdown {
     }
 
     fn index(phase: Phase) -> usize {
-        Phase::ALL.iter().position(|p| *p == phase).expect("phase in ALL")
+        Phase::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("phase in ALL")
     }
 }
 
@@ -330,8 +333,7 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
                 let cycles = pool_cycles(cost, p);
                 phases.add(Phase::Pool, SimTime::from_cycles(cycles, freq));
                 compute_cycles += cycles;
-                let util =
-                    p.total_outputs as f64 / (p.rounds as f64 * p.parallel_outputs as f64);
+                let util = p.total_outputs as f64 / (p.rounds as f64 * p.parallel_outputs as f64);
                 active_weighted += cycles as f64 * util;
                 rounds_total += p.rounds;
 
@@ -463,8 +465,7 @@ mod tests {
         // 2784 cycles = 119,712 cycles = 0.0479 ms at 2.5 GHz.
         let r = report();
         let layer = r.layer("Conv2d_2b_3x3").unwrap();
-        let conv_compute =
-            layer.phases.get(Phase::Mac) + layer.phases.get(Phase::Reduce);
+        let conv_compute = layer.phases.get(Phase::Mac) + layer.phases.get(Phase::Reduce);
         let ms = conv_compute.as_millis_f64();
         assert!((ms - 0.0479).abs() < 0.001, "got {ms:.4} ms");
     }
@@ -498,8 +499,13 @@ mod tests {
     fn derived_cost_model_also_lands_near_paper() {
         let mut config = SystemConfig::xeon_e5_2697_v3();
         config.cost = crate::cost::CostModelKind::Derived;
-        let total = time_inference(&config, &inception_v3()).total().as_millis_f64();
-        assert!((2.5..7.0).contains(&total), "derived model total {total:.2} ms");
+        let total = time_inference(&config, &inception_v3())
+            .total()
+            .as_millis_f64();
+        assert!(
+            (2.5..7.0).contains(&total),
+            "derived model total {total:.2} ms"
+        );
     }
 
     #[test]

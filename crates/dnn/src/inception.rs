@@ -107,9 +107,13 @@ fn inception_a(b: &mut B, name: &str, in_c: usize, proj: usize) -> Layer {
     Layer::Mixed(MixedBlock {
         name: name.to_owned(),
         branches: vec![
-            Branch::new(vec![
-                BranchOp::Conv(b_conv(b, &n("b0_1x1"), (1, 1), in_c, 64)),
-            ]),
+            Branch::new(vec![BranchOp::Conv(b_conv(
+                b,
+                &n("b0_1x1"),
+                (1, 1),
+                in_c,
+                64,
+            ))]),
             Branch::new(vec![
                 BranchOp::Conv(b_conv(b, &n("b1_1x1"), (1, 1), in_c, 48)),
                 BranchOp::Conv(b_conv(b, &n("b1_5x5"), (5, 5), 48, 64)),
@@ -161,7 +165,13 @@ fn inception_b(b: &mut B, name: &str, in_c: usize, mid: usize) -> Layer {
     Layer::Mixed(MixedBlock {
         name: name.to_owned(),
         branches: vec![
-            Branch::new(vec![BranchOp::Conv(b_conv(b, &n("b0_1x1"), (1, 1), in_c, 192))]),
+            Branch::new(vec![BranchOp::Conv(b_conv(
+                b,
+                &n("b0_1x1"),
+                (1, 1),
+                in_c,
+                192,
+            ))]),
             Branch::new(vec![
                 BranchOp::Conv(b_conv(b, &n("b1_1x1"), (1, 1), in_c, mid)),
                 BranchOp::Conv(b_conv(b, &n("b1_1x7"), (1, 7), mid, mid)),
@@ -211,7 +221,13 @@ fn inception_c(b: &mut B, name: &str, in_c: usize) -> Layer {
     Layer::Mixed(MixedBlock {
         name: name.to_owned(),
         branches: vec![
-            Branch::new(vec![BranchOp::Conv(b_conv(b, &n("b0_1x1"), (1, 1), in_c, 320))]),
+            Branch::new(vec![BranchOp::Conv(b_conv(
+                b,
+                &n("b0_1x1"),
+                (1, 1),
+                in_c,
+                320,
+            ))]),
             Branch::new(vec![
                 BranchOp::Conv(b_conv(b, &n("b1_1x1"), (1, 1), in_c, 384)),
                 BranchOp::Split(vec![

@@ -113,7 +113,12 @@ impl Conv2d {
         w_quant: WeightQuant,
         bias: Vec<i64>,
     ) -> Self {
-        assert_eq!(weights.len(), spec.weight_len(), "{}: weight length", spec.name);
+        assert_eq!(
+            weights.len(),
+            spec.weight_len(),
+            "{}: weight length",
+            spec.name
+        );
         assert!(
             bias.is_empty() || bias.len() == spec.m,
             "{}: bias length must be M",
@@ -138,7 +143,9 @@ impl Conv2d {
         let spec = &self.spec;
         debug_assert!(m < spec.m && r < spec.r && s < spec.s && c < spec.c);
         let idx = ((m * spec.r + r) * spec.s + s) * spec.c + c;
-        self.weights.as_ref().expect("shape-only layer has no weights")[idx]
+        self.weights
+            .as_ref()
+            .expect("shape-only layer has no weights")[idx]
     }
 
     /// Sum of weight codes of filter `m` — the `W1(m)` zero-point
@@ -150,7 +157,10 @@ impl Conv2d {
     #[must_use]
     pub fn filter_code_sum(&self, m: usize) -> i64 {
         let spec = &self.spec;
-        let w = self.weights.as_ref().expect("shape-only layer has no weights");
+        let w = self
+            .weights
+            .as_ref()
+            .expect("shape-only layer has no weights");
         let per_filter = spec.r * spec.s * spec.c;
         w[m * per_filter..(m + 1) * per_filter]
             .iter()
@@ -301,7 +311,12 @@ impl MixedBlock {
         let shapes: Vec<Shape> = self.branches.iter().map(|b| b.out_shape(input)).collect();
         let (h, w) = (shapes[0].h, shapes[0].w);
         for s in &shapes {
-            assert_eq!((s.h, s.w), (h, w), "{}: branch spatial dims differ", self.name);
+            assert_eq!(
+                (s.h, s.w),
+                (h, w),
+                "{}: branch spatial dims differ",
+                self.name
+            );
         }
         Shape::new(h, w, shapes.iter().map(|s| s.c).sum())
     }
@@ -474,7 +489,9 @@ mod tests {
     #[test]
     fn conv_weight_indexing() {
         let s = spec("c", 2, 3, 2, 1, Padding::Valid);
-        let weights: Vec<u8> = (0..s.weight_len() as u32).map(|i| (i % 251) as u8).collect();
+        let weights: Vec<u8> = (0..s.weight_len() as u32)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let c = Conv2d::with_weights(s, weights.clone(), WeightQuant::default(), vec![]);
         assert_eq!(c.weight(0, 0, 0, 0), weights[0]);
         assert_eq!(c.weight(1, 1, 1, 2), *weights.last().unwrap());
@@ -494,7 +511,14 @@ mod tests {
             Padding::Same,
         )))]);
         let b2 = Branch::new(vec![
-            BranchOp::Conv(Conv2d::shape_only(spec("b2a", 1, 192, 48, 1, Padding::Same))),
+            BranchOp::Conv(Conv2d::shape_only(spec(
+                "b2a",
+                1,
+                192,
+                48,
+                1,
+                Padding::Same,
+            ))),
             BranchOp::Conv(Conv2d::shape_only(spec("b2b", 5, 48, 64, 1, Padding::Same))),
         ]);
         let block = MixedBlock {
@@ -524,16 +548,16 @@ mod tests {
             ],
         };
         assert_eq!(model.validate(), Shape::new(2, 2, 16));
-        assert_eq!(model.layer_inputs(), vec![
-            Shape::new(8, 8, 4),
-            Shape::new(8, 8, 8),
-            Shape::new(4, 4, 8),
-        ]);
+        assert_eq!(
+            model.layer_inputs(),
+            vec![
+                Shape::new(8, 8, 4),
+                Shape::new(8, 8, 8),
+                Shape::new(4, 4, 8),
+            ]
+        );
         assert_eq!(model.conv_sublayer_count(), 2);
         assert!(!model.has_weights());
-        assert_eq!(
-            model.total_filter_bytes(),
-            3 * 3 * 4 * 8 + 3 * 3 * 8 * 16
-        );
+        assert_eq!(model.total_filter_bytes(), 3 * 3 * 4 * 8 + 3 * 3 * 8 * 16);
     }
 }

@@ -241,7 +241,9 @@ pub fn conv_requant_plan(acc_min: i64, acc_max: i64, acc_scale: f64) -> (Requant
     let req = Requantizer::from_range(acc_min, acc_max);
     let range = (acc_max - acc_min).max(1) as f64;
     let scale = (acc_scale * range / 255.0).max(f64::MIN_POSITIVE);
-    let zero_point = (-(acc_min as f64) * 255.0 / range).round().clamp(0.0, 255.0) as i32;
+    let zero_point = (-(acc_min as f64) * 255.0 / range)
+        .round()
+        .clamp(0.0, 255.0) as i32;
     (req, ActQuant { scale, zero_point })
 }
 
@@ -303,7 +305,12 @@ mod tests {
 
     #[test]
     fn requantizer_multiplier_fits_in_cache_constant() {
-        for (lo, hi) in [(0, 1), (0, 255), (-7, 100_000), (-2_000_000_000, 2_000_000_000)] {
+        for (lo, hi) in [
+            (0, 1),
+            (0, 255),
+            (-7, 100_000),
+            (-2_000_000_000, 2_000_000_000),
+        ] {
             let r = Requantizer::from_range(lo, hi);
             assert!(r.multiplier <= MAX_MULTIPLIER);
             assert!(r.shift <= MAX_SHIFT);
@@ -338,10 +345,7 @@ mod tests {
             let real = from.dequantize(q);
             let q2 = map.apply(q);
             let real2 = to.dequantize(q2);
-            assert!(
-                (real - real2).abs() <= to.scale,
-                "q={q}: {real} vs {real2}"
-            );
+            assert!((real - real2).abs() <= to.scale, "q={q}: {real} vs {real2}");
         }
         assert_eq!(CodeRequant::identity().apply(77), 77);
     }

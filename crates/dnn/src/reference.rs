@@ -156,7 +156,10 @@ pub fn conv_accumulate(conv: &Conv2d, input: &QTensor) -> AccTensor {
                     }
                 }
             }
-            let weights = conv.weights.as_ref().expect("functional conv needs weights");
+            let weights = conv
+                .weights
+                .as_ref()
+                .expect("functional conv needs weights");
             let per_filter = spec.r * spec.s * spec.c;
             for m in 0..spec.m {
                 let wslice = &weights[m * per_filter..(m + 1) * per_filter];
@@ -218,7 +221,10 @@ pub fn run_pool(pool: &Pool2d, input: &QTensor) -> QTensor {
                 for r in 0..pool.k {
                     for s in 0..pool.k {
                         let (y, x) = (oy + r as isize, ox + s as isize);
-                        if y >= 0 && x >= 0 && (y as usize) < in_shape.h && (x as usize) < in_shape.w
+                        if y >= 0
+                            && x >= 0
+                            && (y as usize) < in_shape.h
+                            && (x as usize) < in_shape.w
                         {
                             best = best.max(input.get(y as usize, x as usize, c));
                         }
@@ -235,7 +241,10 @@ pub fn run_pool(pool: &Pool2d, input: &QTensor) -> QTensor {
                 for r in 0..pool.k {
                     for s in 0..pool.k {
                         let (y, x) = (oy + r as isize, ox + s as isize);
-                        if y >= 0 && x >= 0 && (y as usize) < in_shape.h && (x as usize) < in_shape.w
+                        if y >= 0
+                            && x >= 0
+                            && (y as usize) < in_shape.h
+                            && (x as usize) < in_shape.w
                         {
                             sum += u64::from(input.get(y as usize, x as usize, c));
                             count += 1;
@@ -526,11 +535,7 @@ mod tests {
 
     #[test]
     fn max_pool_matches_scalar() {
-        let input = QTensor::from_vec(
-            Shape::new(2, 2, 1),
-            identity_quant(),
-            vec![3, 9, 4, 7],
-        );
+        let input = QTensor::from_vec(Shape::new(2, 2, 1), identity_quant(), vec![3, 9, 4, 7]);
         let pool = Pool2d {
             name: "p".into(),
             kind: PoolKind::Max,
@@ -545,11 +550,7 @@ mod tests {
 
     #[test]
     fn avg_pool_excludes_padding() {
-        let input = QTensor::from_vec(
-            Shape::new(2, 2, 1),
-            identity_quant(),
-            vec![4, 8, 12, 16],
-        );
+        let input = QTensor::from_vec(Shape::new(2, 2, 1), identity_quant(), vec![4, 8, 12, 16]);
         let pool = Pool2d {
             name: "p".into(),
             kind: PoolKind::Avg,
@@ -565,11 +566,7 @@ mod tests {
 
     #[test]
     fn requantized_output_spans_code_range() {
-        let input = QTensor::from_vec(
-            Shape::new(1, 4, 1),
-            identity_quant(),
-            vec![0, 50, 100, 200],
-        );
+        let input = QTensor::from_vec(Shape::new(1, 4, 1), identity_quant(), vec![0, 50, 100, 200]);
         let conv = tiny_conv(1, 1, vec![3], false);
         let (out, rec) = run_conv(&conv, &input);
         assert_eq!(rec.acc_min, 0);

@@ -54,7 +54,10 @@ impl Shape {
     #[must_use]
     #[inline]
     pub fn index(&self, y: usize, x: usize, c: usize) -> usize {
-        assert!(y < self.h && x < self.w && c < self.c, "index out of bounds");
+        assert!(
+            y < self.h && x < self.w && c < self.c,
+            "index out of bounds"
+        );
         (y * self.w + x) * self.c + c
     }
 }

@@ -99,7 +99,15 @@ fn summarize_layer(layer: &Layer, input: Shape) -> LayerSummary {
             let mut convolutions = 0usize;
             let mut filter_bytes = 0usize;
             for branch in &block.branches {
-                walk_branch(branch, input, &mut window, &mut c, &mut m, &mut convolutions, &mut filter_bytes);
+                walk_branch(
+                    branch,
+                    input,
+                    &mut window,
+                    &mut c,
+                    &mut m,
+                    &mut convolutions,
+                    &mut filter_bytes,
+                );
             }
             LayerSummary {
                 name: block.name.clone(),
@@ -161,11 +169,7 @@ fn walk_branch(
                     *filter_bytes += spec.weight_len();
                     total_c += out.c;
                 }
-                cur = Shape::new(
-                    op.out_shape(cur).h,
-                    op.out_shape(cur).w,
-                    total_c,
-                );
+                cur = Shape::new(op.out_shape(cur).h, op.out_shape(cur).w, total_c);
             }
         }
     }
@@ -228,15 +232,25 @@ mod tests {
     use super::*;
     use crate::inception::inception_v3;
 
-    /// The published Table I: (name, H, E, convolutions, filter MB, input
-    /// MB). `None` marks cells where the paper's number is inconsistent
-    /// with its own convolution counts / the standard Inception v3 graph
-    /// (Mixed_6e conv count and filter size; Mixed_6a filter size —
+    /// One published Table I row: (name, H, E, convolutions, filter MB,
+    /// input MB).
+    type PaperRow = (&'static str, usize, usize, Option<usize>, Option<f64>, f64);
+
+    /// The published Table I. `None` marks cells where the paper's number is
+    /// inconsistent with its own convolution counts / the standard Inception
+    /// v3 graph (Mixed_6e conv count and filter size; Mixed_6a filter size —
     /// DESIGN.md §6 and EXPERIMENTS.md).
-    const PAPER: &[(&str, usize, usize, Option<usize>, Option<f64>, f64)] = &[
+    const PAPER: &[PaperRow] = &[
         ("Conv2d_1a_3x3", 299, 149, Some(710_432), Some(0.001), 0.256),
         ("Conv2d_2a_3x3", 149, 147, Some(691_488), Some(0.009), 0.678),
-        ("Conv2d_2b_3x3", 147, 147, Some(1_382_976), Some(0.018), 0.659),
+        (
+            "Conv2d_2b_3x3",
+            147,
+            147,
+            Some(1_382_976),
+            Some(0.018),
+            0.659,
+        ),
         ("MaxPool_3a_3x3", 147, 73, Some(0), Some(0.000), 1.319),
         ("Conv2d_3b_1x1", 73, 73, Some(426_320), Some(0.005), 0.325),
         ("Conv2d_4a_3x3", 73, 71, Some(967_872), Some(0.132), 0.407),

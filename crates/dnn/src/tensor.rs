@@ -37,7 +37,11 @@ impl QTensor {
 
     /// Creates a tensor by evaluating `f(y, x, c)` over the shape.
     #[must_use]
-    pub fn from_fn(shape: Shape, params: ActQuant, mut f: impl FnMut(usize, usize, usize) -> u8) -> Self {
+    pub fn from_fn(
+        shape: Shape,
+        params: ActQuant,
+        mut f: impl FnMut(usize, usize, usize) -> u8,
+    ) -> Self {
         let mut data = Vec::with_capacity(shape.len());
         for y in 0..shape.h {
             for x in 0..shape.w {

@@ -337,7 +337,10 @@ mod tests {
             }))
         });
         assert!(has_split, "mini-inception must exercise terminal splits");
-        assert!(has_pool_final, "mini-inception must exercise pool-final branches");
+        assert!(
+            has_pool_final,
+            "mini-inception must exercise pool-final branches"
+        );
         let input = random_input(model.input_shape, model.input_quant, 4);
         let out = run_model(&model, &input);
         assert_eq!(out.output.shape(), Shape::new(1, 1, 5));

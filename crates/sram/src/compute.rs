@@ -132,12 +132,20 @@ impl ComputeArray {
     /// Clears every carry latch. Latch presets are driven by the control FSM
     /// and do not occupy an array cycle.
     pub fn preset_carry(&mut self, value: bool) {
-        self.carry = if value { BitRow::ones() } else { BitRow::zero() };
+        self.carry = if value {
+            BitRow::ones()
+        } else {
+            BitRow::zero()
+        };
     }
 
     /// Sets every tag latch to `value` (control-FSM preset, zero cycles).
     pub fn preset_tag(&mut self, value: bool) {
-        self.tag = if value { BitRow::ones() } else { BitRow::zero() };
+        self.tag = if value {
+            BitRow::ones()
+        } else {
+            BitRow::zero()
+        };
     }
 
     // ------------------------------------------------------------------
@@ -412,11 +420,16 @@ impl ComputeArray {
             );
         }
         if let Some(z) = self.zero_row {
-            assert!(!op.contains_row(z), "operand {op} overlaps the zero row {z}");
+            assert!(
+                !op.contains_row(z),
+                "operand {op} overlaps the zero row {z}"
+            );
         }
         for i in 0..op.bits() {
             let bit = if i < 64 { (value >> i) & 1 == 1 } else { false };
-            self.array.set(op.row(i), lane, bit).expect("validated operand");
+            self.array
+                .set(op.row(i), lane, bit)
+                .expect("validated operand");
         }
     }
 
@@ -476,7 +489,11 @@ impl ComputeArray {
                 "value {value} does not fit in {bits} signed bits"
             );
         }
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         self.poke_lane(lane, op, (value as u64) & mask);
     }
 

@@ -97,13 +97,19 @@ impl fmt::Display for SramError {
                 write!(f, "compute cycle activated word line {row} against itself")
             }
             SramError::MissingZeroRow => {
-                write!(f, "operation requires a dedicated all-zero row; none configured")
+                write!(
+                    f,
+                    "operation requires a dedicated all-zero row; none configured"
+                )
             }
             SramError::ZeroRowClobbered { row } => {
                 write!(f, "operation would overwrite the dedicated zero row {row}")
             }
             SramError::NonPowerOfTwoLanes { lanes } => {
-                write!(f, "tree reduction requires a power-of-two lane count, got {lanes}")
+                write!(
+                    f,
+                    "tree reduction requires a power-of-two lane count, got {lanes}"
+                )
             }
             SramError::DivisionByZero { lane } => {
                 write!(f, "division by zero on lane {lane}")

@@ -133,7 +133,13 @@ impl Operand {
 
 impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rows {}..{} ({} bits)", self.base, self.base + self.bits, self.bits)
+        write!(
+            f,
+            "rows {}..{} ({} bits)",
+            self.base,
+            self.base + self.bits,
+            self.bits
+        )
     }
 }
 

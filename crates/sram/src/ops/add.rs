@@ -121,7 +121,11 @@ impl ComputeArray {
                 });
             }
         }
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         self.add_scalar(op, (k as u64) & mask)
     }
 
@@ -164,7 +168,10 @@ impl ComputeArray {
             (scratch.overlaps(&b), "scratch overlaps subtrahend"),
             (scratch.overlaps(&dst), "scratch overlaps destination"),
             (dst.overlaps(&b), "destination overlaps subtrahend"),
-            (dst.overlaps(&a) && dst != a, "destination partially overlaps minuend"),
+            (
+                dst.overlaps(&a) && dst != a,
+                "destination partially overlaps minuend",
+            ),
         ];
         for (bad, what) in distinct {
             if bad {

@@ -341,11 +341,11 @@ mod tests {
         let value = Operand::new(0, 32).unwrap();
         let scratch = Operand::new(32, 32).unwrap();
         let mut expected = [0u64; 4];
-        for g in 0..4 {
+        for (g, want) in expected.iter_mut().enumerate() {
             for l in 0..8 {
                 let v = (g * 100 + l * 7 + 1) as u64;
                 a.poke_lane(g * 8 + l, value, v);
-                expected[g] += v;
+                *want += v;
             }
         }
         a.reduce_sum_grouped(value, scratch, 8, 4).unwrap();

@@ -131,7 +131,10 @@ impl Default for SramArray {
 impl fmt::Debug for SramArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let populated = self.rows.iter().filter(|r| !r.is_zero()).count();
-        write!(f, "SramArray {{ rows: {ROWS}, cols: {COLS}, non_zero_rows: {populated} }}")
+        write!(
+            f,
+            "SramArray {{ rows: {ROWS}, cols: {COLS}, non_zero_rows: {populated} }}"
+        )
     }
 }
 

@@ -1,6 +1,12 @@
 //! Property-based equivalence tests: every bit-serial operation must agree
 //! with ordinary scalar arithmetic on random vectors, widths and layouts.
 
+// Lane loops here index several parallel value vectors *and* poke/peek the
+// array by the same lane id; the div property spells out the zero-divisor
+// saturation rule next to the plain `/`/`%` it mirrors. Neither reads better
+// through iterators or `checked_div`.
+#![allow(clippy::needless_range_loop, clippy::manual_checked_ops)]
+
 use nc_sram::{ComputeArray, Operand, Predicate, COLS};
 use proptest::prelude::*;
 
@@ -10,7 +16,11 @@ fn arr() -> ComputeArray {
 
 /// Strategy for a vector of `n`-bit lane values occupying all 256 lanes.
 fn lanes(bits: usize) -> impl Strategy<Value = Vec<u64>> {
-    let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let max = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     proptest::collection::vec(0..=max, COLS)
 }
 

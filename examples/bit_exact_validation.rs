@@ -30,7 +30,10 @@ fn main() {
         assert_eq!(&ours, gold, "requantization records must agree");
     }
 
-    println!("\nbit-exact: {} output bytes identical", golden.output.data().len());
+    println!(
+        "\nbit-exact: {} output bytes identical",
+        golden.output.data().len()
+    );
     println!(
         "in-cache work: {} compute cycles + {} access cycles across all array operations",
         cache.cycles.compute_cycles, cache.cycles.access_cycles

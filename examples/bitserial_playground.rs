@@ -21,8 +21,8 @@ fn main() {
     println!(
         "add: 256 lanes in {} cycles; lane 41: {} + {} = {}",
         d.compute_cycles,
-        41 % 128,
-        82 % 128,
+        41,
+        82,
         arr.peek_lane(41, sum)
     );
 
@@ -53,7 +53,10 @@ fn main() {
     // --- Predicated search (Compute Cache legacy op). ---
     let d = arr.search_eq_scalar(a, 77).unwrap();
     let hits = (0..COLS).filter(|&l| arr.tag().get(l)).count();
-    println!("search a == 77: {hits} matching lanes in {} cycles", d.compute_cycles);
+    println!(
+        "search a == 77: {hits} matching lanes in {} cycles",
+        d.compute_cycles
+    );
 
     // --- Division (used by average pooling). ---
     let quot = Operand::new(112, 8).unwrap();

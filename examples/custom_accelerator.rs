@@ -17,13 +17,49 @@ fn main() {
         input_shape: Shape::new(64, 64, 3),
         input_quant: ActQuant::from_range(-1.0, 1.0),
         layers: vec![
-            Layer::Conv(random_conv("conv1", (3, 3), 3, 32, 1, Padding::Same, true, 1)),
+            Layer::Conv(random_conv(
+                "conv1",
+                (3, 3),
+                3,
+                32,
+                1,
+                Padding::Same,
+                true,
+                1,
+            )),
             Layer::Pool(pool("pool1")),
-            Layer::Conv(random_conv("conv2", (3, 3), 32, 64, 1, Padding::Same, true, 2)),
+            Layer::Conv(random_conv(
+                "conv2",
+                (3, 3),
+                32,
+                64,
+                1,
+                Padding::Same,
+                true,
+                2,
+            )),
             Layer::Pool(pool("pool2")),
-            Layer::Conv(random_conv("conv3", (3, 3), 64, 128, 1, Padding::Same, true, 3)),
+            Layer::Conv(random_conv(
+                "conv3",
+                (3, 3),
+                64,
+                128,
+                1,
+                Padding::Same,
+                true,
+                3,
+            )),
             Layer::Pool(pool("pool3")),
-            Layer::Conv(random_conv("conv4", (1, 1), 128, 256, 1, Padding::Valid, true, 4)),
+            Layer::Conv(random_conv(
+                "conv4",
+                (1, 1),
+                128,
+                256,
+                1,
+                Padding::Valid,
+                true,
+                4,
+            )),
             Layer::Pool(Pool2d {
                 name: "gap".into(),
                 kind: PoolKind::Avg,
@@ -31,7 +67,16 @@ fn main() {
                 stride: 1,
                 padding: Padding::Valid,
             }),
-            Layer::Conv(random_conv("classifier", (1, 1), 256, 100, 1, Padding::Valid, false, 5)),
+            Layer::Conv(random_conv(
+                "classifier",
+                (1, 1),
+                256,
+                100,
+                1,
+                Padding::Valid,
+                false,
+                5,
+            )),
         ],
     };
 
@@ -70,18 +115,24 @@ fn main() {
     }
 
     let report = system.run_inference(&model);
-    println!("\ninference latency on the 8-slice cache: {}", report.total());
+    println!(
+        "\ninference latency on the 8-slice cache: {}",
+        report.total()
+    );
     let energy = system.energy(&report);
-    println!("energy: {:.4} J at {:.1} W", energy.total_j(), energy.avg_power_w());
+    println!(
+        "energy: {:.4} J at {:.1} W",
+        energy.total_j(),
+        energy.avg_power_w()
+    );
 
     // Verify the mapping functionally: bit-exact against the golden model.
-    let input = neural_cache_repro::dnn::workload::random_input(
-        model.input_shape,
-        model.input_quant,
-        99,
-    );
+    let input =
+        neural_cache_repro::dnn::workload::random_input(model.input_shape, model.input_quant, 99);
     let golden = neural_cache_repro::dnn::reference::run_model(&model, &input);
-    let cache = system.run_functional(&model, &input).expect("functional run");
+    let cache = system
+        .run_functional(&model, &input)
+        .expect("functional run");
     assert_eq!(golden.output.data(), cache.output.data());
     println!("functional check: outputs bit-identical with the golden executor");
 }

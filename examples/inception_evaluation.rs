@@ -16,7 +16,10 @@ fn main() {
     let gpu = gpu_titan_xp();
 
     println!("== Per-layer latency (ms) ==");
-    println!("{:<18} {:>9} {:>9} {:>13}", "layer", "CPU", "GPU", "Neural Cache");
+    println!(
+        "{:<18} {:>9} {:>9} {:>13}",
+        "layer", "CPU", "GPU", "Neural Cache"
+    );
     let cpu_layers = cpu.layer_latencies(&model);
     let gpu_layers = gpu.layer_latencies(&model);
     for ((layer, (_, c)), (_, g)) in nc.layers.iter().zip(&cpu_layers).zip(&gpu_layers) {
@@ -40,7 +43,10 @@ fn main() {
     println!("\n== Throughput vs batch size (inferences/sec) ==");
     let batches = [1usize, 4, 16, 64, 256];
     let sweep = throughput_sweep(&config, &model, &batches);
-    println!("{:>6} {:>9} {:>9} {:>13}", "batch", "CPU", "GPU", "Neural Cache");
+    println!(
+        "{:>6} {:>9} {:>9} {:>13}",
+        "batch", "CPU", "GPU", "Neural Cache"
+    );
     for (i, &b) in batches.iter().enumerate() {
         println!(
             "{:>6} {:>9.1} {:>9.1} {:>13.1}",

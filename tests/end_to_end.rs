@@ -51,7 +51,10 @@ fn table4_capacity_scaling_holds() {
         let ms = time_inference(&SystemConfig::with_capacity_mb(mb), &model)
             .total()
             .as_millis_f64();
-        assert!(ms < previous, "{mb} MB must be faster than the previous point");
+        assert!(
+            ms < previous,
+            "{mb} MB must be faster than the previous point"
+        );
         assert!(
             (ms - paper_ms).abs() / paper_ms < 0.25,
             "{mb} MB: {ms:.2} ms vs paper {paper_ms} ms"

@@ -16,16 +16,31 @@ fn all_experiment_artifacts_regenerate() {
         ("fig14", nc_bench::fig14()),
         ("fig15", nc_bench::fig15()),
         ("fig16", nc_bench::fig16()),
+        ("sparsity", nc_bench::sparsity()),
         ("headlines", nc_bench::headlines()),
     ];
     for (name, text) in &artifacts {
         assert!(!text.is_empty(), "{name} rendered nothing");
     }
     // Spot-check content that must appear.
-    assert!(artifacts[0].1.contains("Conv2d_1a_3x3"));
-    assert!(artifacts[2].1.contains("Neural Cache"));
-    assert!(artifacts[10].1.contains("604"), "fig16 cites the paper peak");
-    assert!(artifacts[11].1.contains("1146880"));
+    let by_name = |name: &str| {
+        &artifacts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no artifact {name}"))
+            .1
+    };
+    assert!(by_name("table1").contains("Conv2d_1a_3x3"));
+    assert!(by_name("table3").contains("Neural Cache"));
+    assert!(
+        by_name("fig16").contains("604"),
+        "fig16 cites the paper peak"
+    );
+    assert!(
+        by_name("sparsity").contains("oracle"),
+        "sparsity reports skips"
+    );
+    assert!(by_name("headlines").contains("1146880"));
 }
 
 #[test]

@@ -94,7 +94,16 @@ fn inception_stem_slice_is_bit_exact() {
     // The first Inception v3 convolution at reduced spatial size: same
     // channel geometry (3 -> 32, 3x3 stride 2 VALID) as Conv2d_1a_3x3.
     let model = single_conv_model(
-        random_conv("Conv2d_1a_3x3_slice", (3, 3), 3, 32, 2, Padding::Valid, true, 7),
+        random_conv(
+            "Conv2d_1a_3x3_slice",
+            (3, 3),
+            3,
+            32,
+            2,
+            Padding::Valid,
+            true,
+            7,
+        ),
         Shape::new(11, 11, 3),
     );
     assert_bit_exact(&model, 70);
@@ -117,5 +126,8 @@ fn functional_executor_reports_cycle_work() {
     );
     let input = random_input(wide.input_shape, wide.input_quant, 80);
     let result = functional::run_model(&wide, &input).expect("functional execution");
-    assert!(result.cycles.access_cycles > 0, "cross-array transfers counted");
+    assert!(
+        result.cycles.access_cycles > 0,
+        "cross-array transfers counted"
+    );
 }

@@ -1,0 +1,255 @@
+//! Minimal, offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the [`proptest!`] test macro, `prop_assert*` macros,
+//! [`strategy::Strategy`] implemented for integer ranges, [`prelude::any`]
+//! and [`collection::vec`], plus [`test_runner::ProptestConfig`].
+//!
+//! Semantics are simplified relative to upstream: strategies are pure
+//! generators (no shrinking, no persisted failure seeds) and `prop_assert*`
+//! panics immediately instead of recording a failure for minimization. Every
+//! test still runs `cases` random inputs from a deterministic per-test seed,
+//! so failures are reproducible run-to-run.
+//!
+//! Vendored because the build environment has no network access to a cargo
+//! registry; see the workspace README.
+
+#![warn(missing_docs)]
+
+pub use rand;
+
+/// Test-runner configuration, mirroring `proptest::test_runner::Config`.
+pub mod test_runner {
+    /// Configuration for how many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random input cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random inputs per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The RNG handed to strategies by the [`crate::proptest!`] runner.
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating random values of an output type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_for_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    /// Types with a canonical "anything" strategy, mirroring
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` of `len` values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `Vec`s of exactly `len` elements from `element`.
+    ///
+    /// Upstream accepts any `Into<SizeRange>`; the workspace only uses fixed
+    /// lengths, so that is all the stub supports.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The canonical strategy for "any value of type `T`".
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    use rand::SeedableRng;
+
+    pub use crate::strategy::TestRng;
+
+    /// Deterministic per-test RNG: seeded from the property name so each
+    /// property sees a stable input sequence across runs.
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(seed)
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (
+        @impl ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::__runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property; panics with the case's inputs on
+/// failure (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u64..=5, flag in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+
+        #[test]
+        fn vec_strategy_has_fixed_len(v in crate::collection::vec(0u64..=255, 16)) {
+            prop_assert_eq!(v.len(), 16);
+            prop_assert!(v.iter().all(|&x| x <= 255));
+        }
+    }
+}
