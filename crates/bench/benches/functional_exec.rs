@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nc_dnn::workload::{random_conv, random_input, single_conv_model, tiny_cnn};
 use nc_dnn::{Padding, Shape};
 use neural_cache::functional;
+use neural_cache::ExecutionEngine;
 
 fn bench_functional_conv(c: &mut Criterion) {
     let conv = random_conv("bench", (3, 3), 8, 4, 1, Padding::Same, true, 3);
@@ -27,5 +28,22 @@ fn bench_functional_tiny_cnn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_functional_conv, bench_functional_tiny_cnn);
+fn bench_functional_tiny_cnn_threaded(c: &mut Criterion) {
+    // Same workload on the 4-worker sharded engine: the gap to the
+    // sequential number above is the simulator's parallel speedup (1x on
+    // single-core CI runners).
+    let model = tiny_cnn(1);
+    let input = random_input(model.input_shape, model.input_quant, 2);
+    let engine = ExecutionEngine::from_threads(4);
+    c.bench_function("functional/tiny_cnn_end_to_end_threaded4", |b| {
+        b.iter(|| functional::run_model_with(&model, &input, engine).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_functional_conv,
+    bench_functional_tiny_cnn,
+    bench_functional_tiny_cnn_threaded
+);
 criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Emits `BENCH_functional.json`: sequential-vs-threaded wall time of the
+//! functional executor on the Inception v3 proxy workloads, for CI to
+//! upload as a per-PR perf artifact.
+//!
+//! ```bash
+//! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json
+//! ```
+//!
+//! Exits non-zero if the threaded backend fails to reproduce the
+//! sequential outputs/cycles exactly (the tentpole invariant), so the CI
+//! bench job doubles as a determinism gate.
+
+use std::process::ExitCode;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = parse_flag(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(4);
+    let reps: usize = parse_flag(&args, "--reps")
+        .map(|v| v.parse().expect("--reps takes an integer"))
+        .unwrap_or(3);
+    let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_functional.json".to_owned());
+
+    let comparisons = nc_bench::perf::compare_engines(threads, reps);
+    let json = nc_bench::perf::render_json(&comparisons, threads);
+    std::fs::write(&out_path, &json).expect("write BENCH_functional.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if comparisons
+        .iter()
+        .all(nc_bench::perf::EngineComparison::verified)
+    {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: threaded backend diverged from sequential");
+        ExitCode::FAILURE
+    }
+}

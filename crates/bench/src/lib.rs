@@ -20,13 +20,46 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 
 use nc_baselines::{cpu_xeon_e5, gpu_titan_xp, PlatformConfig};
 use nc_dnn::inception::inception_v3;
 use nc_sram::area::AreaModel;
 use nc_sram::{ComputeArray, Operand, SramArray};
-use neural_cache::{energy_of, throughput_sweep, time_inference, NeuralCache, Phase, SystemConfig};
+use neural_cache::{
+    energy_of, throughput_sweep, time_inference, ExecutionEngine, NeuralCache, Phase, SystemConfig,
+};
+
+/// Engine the artifact functions run their simulators on (host wall-clock
+/// only; regenerated numbers are identical under every engine).
+static ENGINE: OnceLock<ExecutionEngine> = OnceLock::new();
+
+/// Selects the execution engine used by every artifact function's
+/// [`SystemConfig`] (`0`/`1` threads mean sequential). The first call wins;
+/// later calls are ignored. Wired to `run_all --threads N`.
+pub fn set_threads(threads: usize) {
+    let _ = ENGINE.set(ExecutionEngine::from_threads(threads));
+}
+
+/// The system configuration all artifact functions simulate: the paper's
+/// dual-socket Xeon with the engine selected by [`set_threads`].
+#[must_use]
+pub fn base_config() -> SystemConfig {
+    let mut config = SystemConfig::xeon_e5_2697_v3();
+    config.parallelism = *ENGINE.get_or_init(|| ExecutionEngine::Sequential);
+    config
+}
+
+/// [`base_config`] with a scaled LLC capacity (Table IV points).
+#[must_use]
+pub fn capacity_config(mb: usize) -> SystemConfig {
+    let mut config = SystemConfig::with_capacity_mb(mb);
+    config.parallelism = *ENGINE.get_or_init(|| ExecutionEngine::Sequential);
+    config
+}
 
 /// Table I — Inception v3 layer parameters, derived from our graph.
 #[must_use]
@@ -62,7 +95,7 @@ pub fn table2() -> String {
 /// Table III — energy consumption and average power.
 #[must_use]
 pub fn table3() -> String {
-    let config = SystemConfig::xeon_e5_2697_v3();
+    let config = base_config();
     let model = inception_v3();
     let report = time_inference(&config, &model);
     let nc = energy_of(&config, &report);
@@ -107,7 +140,7 @@ pub fn table4() -> String {
     let mut out = String::from("Table IV: Scaling with Cache Capacity (Batch Size = 1)\n");
     let paper = [(35usize, 4.72f64), (45, 4.12), (60, 3.79)];
     for (mb, paper_ms) in paper {
-        let t = time_inference(&SystemConfig::with_capacity_mb(mb), &model)
+        let t = time_inference(&capacity_config(mb), &model)
             .total()
             .as_millis_f64();
         let _ = writeln!(
@@ -261,7 +294,7 @@ pub fn fig12() -> String {
 #[must_use]
 pub fn fig13() -> String {
     let model = inception_v3();
-    let nc = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+    let nc = time_inference(&base_config(), &model);
     let cpu = cpu_xeon_e5().layer_latencies(&model);
     let gpu = gpu_titan_xp().layer_latencies(&model);
     let mut out = String::from("Figure 13: Inference latency by layer of Inception v3 (ms)\n");
@@ -286,7 +319,7 @@ pub fn fig13() -> String {
 /// Figure 14 — Neural Cache inference latency breakdown.
 #[must_use]
 pub fn fig14() -> String {
-    let report = time_inference(&SystemConfig::xeon_e5_2697_v3(), &inception_v3());
+    let report = time_inference(&base_config(), &inception_v3());
     let b = report.breakdown();
     let paper = [
         (Phase::FilterLoad, 46.0),
@@ -314,7 +347,7 @@ pub fn fig14() -> String {
 /// Figure 15 — total Inception v3 inference latency for the three systems.
 #[must_use]
 pub fn fig15() -> String {
-    let nc = time_inference(&SystemConfig::xeon_e5_2697_v3(), &inception_v3()).total();
+    let nc = time_inference(&base_config(), &inception_v3()).total();
     let cpu = cpu_xeon_e5().total_latency();
     let gpu = gpu_titan_xp().total_latency();
     let mut out = String::from("Figure 15: Total latency on Inception v3 inference\n");
@@ -334,7 +367,7 @@ pub fn fig15() -> String {
 #[must_use]
 pub fn fig16() -> String {
     let model = inception_v3();
-    let config = SystemConfig::xeon_e5_2697_v3();
+    let config = base_config();
     let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     let nc = throughput_sweep(&config, &model, &batches);
     let cpu = cpu_xeon_e5();
@@ -399,7 +432,7 @@ pub fn sparsity() -> String {
 #[must_use]
 pub fn headlines() -> String {
     let g = nc_geometry::CacheGeometry::xeon_e5_2697_v3();
-    let system = NeuralCache::new(SystemConfig::xeon_e5_2697_v3());
+    let system = NeuralCache::new(base_config());
     let mut out = String::from("Headline numbers\n");
     let _ = writeln!(
         out,

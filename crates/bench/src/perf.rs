@@ -1,0 +1,160 @@
+//! Host wall-time measurement of the functional executor under the
+//! Sequential vs Threaded execution engines, emitted as machine-readable
+//! JSON (`BENCH_functional.json`) so CI can track the perf trajectory of
+//! the simulator per PR.
+//!
+//! The workloads are the functional-executor proxies for the paper's
+//! Inception v3 evaluation: `mini_inception` (one block of every Inception
+//! family — the full 299x299 network is out of reach for a bit-serial
+//! simulation in CI), the Inception stem-slice convolution, and `tiny_cnn`.
+//! Every comparison also *verifies* the tentpole invariant: the threaded
+//! run must be bit-identical to the sequential one with identical cycle
+//! counts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nc_dnn::workload::{mini_inception, random_conv, random_input, single_conv_model, tiny_cnn};
+use nc_dnn::{Model, Padding, QTensor, Shape};
+use neural_cache::functional::{self, FunctionalResult};
+use neural_cache::ExecutionEngine;
+
+/// Sequential-vs-threaded wall-time comparison of one workload.
+#[derive(Debug, Clone)]
+pub struct EngineComparison {
+    /// Workload name.
+    pub name: String,
+    /// Best-of-`reps` sequential wall time, milliseconds.
+    pub sequential_ms: f64,
+    /// Best-of-`reps` threaded wall time, milliseconds.
+    pub threaded_ms: f64,
+    /// `sequential_ms / threaded_ms`.
+    pub speedup: f64,
+    /// Whether the threaded output tensor matched the sequential one
+    /// byte-for-byte.
+    pub bit_identical: bool,
+    /// Whether the threaded cycle counters matched the sequential ones.
+    pub cycles_identical: bool,
+    /// Simulated compute cycles of the workload (engine-independent).
+    pub compute_cycles: u64,
+}
+
+impl EngineComparison {
+    /// Whether the threaded backend reproduced the sequential results
+    /// exactly (the acceptance gate for the comparison).
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.bit_identical && self.cycles_identical
+    }
+}
+
+fn proxy_workloads() -> Vec<(String, Model, QTensor)> {
+    let mut workloads = Vec::new();
+    let mini = mini_inception(2018);
+    let mini_input = random_input(mini.input_shape, mini.input_quant, 7);
+    workloads.push(("inception_v3_proxy_mini".to_owned(), mini, mini_input));
+
+    // Conv2d_1a_3x3's channel geometry (3 -> 32, 3x3 stride-2 VALID) at
+    // reduced spatial size.
+    let stem = single_conv_model(
+        random_conv("stem", (3, 3), 3, 32, 2, Padding::Valid, true, 2018),
+        Shape::new(11, 11, 3),
+    );
+    let stem_input = random_input(stem.input_shape, stem.input_quant, 8);
+    workloads.push(("inception_stem_slice".to_owned(), stem, stem_input));
+
+    let tiny = tiny_cnn(2018);
+    let tiny_input = random_input(tiny.input_shape, tiny.input_quant, 9);
+    workloads.push(("tiny_cnn".to_owned(), tiny, tiny_input));
+    workloads
+}
+
+fn time_runs(
+    model: &Model,
+    input: &QTensor,
+    engine: ExecutionEngine,
+    reps: usize,
+) -> (FunctionalResult, f64) {
+    let mut result = None;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = functional::run_model_with(model, input, engine).expect("functional run");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (result.expect("at least one rep"), best_ms)
+}
+
+/// Runs every proxy workload under both engines (best of `reps` wall
+/// times) and verifies the threaded results against the sequential ones.
+#[must_use]
+pub fn compare_engines(threads: usize, reps: usize) -> Vec<EngineComparison> {
+    let threaded = ExecutionEngine::from_threads(threads);
+    proxy_workloads()
+        .into_iter()
+        .map(|(name, model, input)| {
+            let (seq, sequential_ms) = time_runs(&model, &input, ExecutionEngine::Sequential, reps);
+            let (thr, threaded_ms) = time_runs(&model, &input, threaded, reps);
+            EngineComparison {
+                name,
+                sequential_ms,
+                threaded_ms,
+                speedup: sequential_ms / threaded_ms,
+                bit_identical: seq.output.data() == thr.output.data()
+                    && seq.sublayers == thr.sublayers,
+                cycles_identical: seq.cycles == thr.cycles,
+                compute_cycles: seq.cycles.compute_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparisons as the `BENCH_functional.json` document CI
+/// uploads as a workflow artifact.
+#[must_use]
+pub fn render_json(comparisons: &[EngineComparison], threads: usize) -> String {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"BENCH_functional\",");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"host_parallelism\": {host},");
+    out.push_str("  \"workloads\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(out, "      \"sequential_ms\": {:.3},", c.sequential_ms);
+        let _ = writeln!(out, "      \"threaded_ms\": {:.3},", c.threaded_ms);
+        let _ = writeln!(out, "      \"speedup\": {:.3},", c.speedup);
+        let _ = writeln!(out, "      \"bit_identical\": {},", c.bit_identical);
+        let _ = writeln!(out, "      \"cycles_identical\": {},", c.cycles_identical);
+        let _ = writeln!(out, "      \"compute_cycles\": {}", c.compute_cycles);
+        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_verify_and_render() {
+        let comps = compare_engines(2, 1);
+        assert_eq!(comps.len(), 3);
+        for c in &comps {
+            assert!(c.verified(), "{} failed verification", c.name);
+            assert!(c.sequential_ms > 0.0 && c.threaded_ms > 0.0);
+            assert!(c.compute_cycles > 10_000, "{} did too little work", c.name);
+        }
+        let json = render_json(&comps, 2);
+        assert!(json.contains("\"benchmark\": \"BENCH_functional\""));
+        assert!(json.contains("\"inception_v3_proxy_mini\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.ends_with("}\n"));
+        // Exactly one trailing element without a comma.
+        assert_eq!(json.matches("},").count(), 2);
+    }
+}

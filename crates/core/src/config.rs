@@ -5,6 +5,7 @@ use nc_geometry::{CacheGeometry, DramModel, InterconnectModel};
 use nc_sram::{ArrayEnergy, ArrayTimings};
 
 use crate::cost::CostModelKind;
+use crate::engine::ExecutionEngine;
 
 /// Full configuration of a Neural Cache system.
 ///
@@ -34,6 +35,11 @@ pub struct SystemConfig {
     /// Host sockets; Neural Cache throughput scales linearly with sockets
     /// (Section VI-B; the paper's platform is dual-socket).
     pub sockets: usize,
+    /// Execution engine used by the simulators themselves (functional
+    /// executor shard jobs, per-layer timing): [`ExecutionEngine::Sequential`]
+    /// or a threaded backend. Both produce bit-identical results; this knob
+    /// only changes host wall-clock time, never simulated time or outputs.
+    pub parallelism: ExecutionEngine,
 }
 
 impl SystemConfig {
@@ -49,6 +55,7 @@ impl SystemConfig {
             array_energy: ArrayEnergy::node_22nm(),
             cost: CostModelKind::Paper,
             sockets: 2,
+            parallelism: ExecutionEngine::Sequential,
         }
     }
 
@@ -61,6 +68,16 @@ impl SystemConfig {
     pub fn with_capacity_mb(mb: usize) -> Self {
         SystemConfig {
             geometry: CacheGeometry::with_capacity_mb(mb),
+            ..SystemConfig::xeon_e5_2697_v3()
+        }
+    }
+
+    /// Same system with a threaded simulator backend (`0`/`1` threads fall
+    /// back to sequential).
+    #[must_use]
+    pub fn with_parallelism(threads: usize) -> Self {
+        SystemConfig {
+            parallelism: ExecutionEngine::from_threads(threads),
             ..SystemConfig::xeon_e5_2697_v3()
         }
     }
@@ -85,5 +102,13 @@ mod tests {
         assert_eq!(c60.geometry.slices, 24);
         assert_eq!(c60.sockets, 2);
         assert_eq!(SystemConfig::default(), SystemConfig::xeon_e5_2697_v3());
+        assert_eq!(c.parallelism, ExecutionEngine::Sequential);
+        let c4 = SystemConfig::with_parallelism(4);
+        assert_eq!(c4.parallelism, ExecutionEngine::Threaded { threads: 4 });
+        assert_eq!(c4.geometry, c.geometry);
+        assert_eq!(
+            SystemConfig::with_parallelism(1).parallelism,
+            ExecutionEngine::Sequential
+        );
     }
 }

@@ -1,0 +1,204 @@
+//! The work-sharded execution engine behind the functional and timing
+//! simulators.
+//!
+//! Neural Cache's defining property is massive data parallelism: thousands
+//! of 8KB compute arrays execute the same bit-serial sequence in lockstep
+//! (Sections IV/VI). Within one pass the arrays share **no** state — they
+//! only meet at the inter-array reduction/ranging barriers — so simulating
+//! them is embarrassingly shardable. This module abstracts over *how* a set
+//! of independent shard jobs runs:
+//!
+//! - [`ExecutionEngine::Sequential`] executes jobs in index order on the
+//!   calling thread (the reference backend);
+//! - [`ExecutionEngine::Threaded`] fans jobs out over a scoped pool of
+//!   `std::thread` workers pulling shard indices from an atomic counter.
+//!
+//! Both backends are **observably identical**: [`ExecutionEngine::run`]
+//! always returns results in job-index order, so any deterministic
+//! reduction over them (summing [`nc_sram::CycleStats`], splicing output
+//! chunks) is independent of thread scheduling. No external dependencies
+//! are used, consistent with the workspace's vendored-offline policy.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// How independent shard jobs are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionEngine {
+    /// Run every job on the calling thread, in index order.
+    #[default]
+    Sequential,
+    /// Fan jobs out over `threads` scoped worker threads.
+    Threaded {
+        /// Number of worker threads (at least 2; use
+        /// [`ExecutionEngine::from_threads`] to normalize).
+        threads: usize,
+    },
+}
+
+impl ExecutionEngine {
+    /// Normalizes a thread-count knob: `0` and `1` mean [`Sequential`],
+    /// anything larger a [`Threaded`] backend with that many workers.
+    ///
+    /// [`Sequential`]: ExecutionEngine::Sequential
+    /// [`Threaded`]: ExecutionEngine::Threaded
+    #[must_use]
+    pub fn from_threads(threads: usize) -> Self {
+        if threads <= 1 {
+            ExecutionEngine::Sequential
+        } else {
+            ExecutionEngine::Threaded { threads }
+        }
+    }
+
+    /// An engine sized to the host's available parallelism (sequential on
+    /// single-core hosts).
+    #[must_use]
+    pub fn auto() -> Self {
+        ExecutionEngine::from_threads(
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this engine uses (1 for sequential).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutionEngine::Sequential => 1,
+            ExecutionEngine::Threaded { threads } => (*threads).max(1),
+        }
+    }
+
+    /// Whether jobs may run on more than one thread.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Runs `jobs` independent shard jobs and returns their results in job
+    /// order (index `i`'s result at position `i`, regardless of backend or
+    /// scheduling).
+    ///
+    /// `job` must be a pure function of its index with respect to the
+    /// shared state it captures; the threaded backend gives no ordering
+    /// guarantee *during* execution, only on the returned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (the scoped workers are joined
+    /// before this returns).
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads().min(jobs);
+        if workers <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            local.push((i, job(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_threads_normalizes() {
+        assert_eq!(
+            ExecutionEngine::from_threads(0),
+            ExecutionEngine::Sequential
+        );
+        assert_eq!(
+            ExecutionEngine::from_threads(1),
+            ExecutionEngine::Sequential
+        );
+        assert_eq!(
+            ExecutionEngine::from_threads(4),
+            ExecutionEngine::Threaded { threads: 4 }
+        );
+        assert_eq!(ExecutionEngine::Sequential.threads(), 1);
+        assert_eq!(ExecutionEngine::Threaded { threads: 3 }.threads(), 3);
+        assert!(!ExecutionEngine::Sequential.is_parallel());
+        assert!(ExecutionEngine::from_threads(2).is_parallel());
+        assert!(ExecutionEngine::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::from_threads(4),
+        ] {
+            let out = engine.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_fallible_jobs() {
+        let job = |i: usize| -> Result<usize, String> {
+            if i == 7 {
+                Err("seven".to_owned())
+            } else {
+                Ok(i)
+            }
+        };
+        let seq: Result<Vec<_>, _> = ExecutionEngine::Sequential
+            .run(10, job)
+            .into_iter()
+            .collect();
+        let thr: Result<Vec<_>, _> = ExecutionEngine::from_threads(3)
+            .run(10, job)
+            .into_iter()
+            .collect();
+        assert_eq!(seq, thr);
+        assert_eq!(seq.unwrap_err(), "seven");
+    }
+
+    #[test]
+    fn zero_and_single_job_edge_cases() {
+        let engine = ExecutionEngine::from_threads(8);
+        assert_eq!(engine.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(engine.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn threaded_run_uses_shared_state_safely() {
+        use std::sync::atomic::AtomicU64;
+        let total = AtomicU64::new(0);
+        let out = ExecutionEngine::from_threads(4).run(1000, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+            i as u64
+        });
+        assert_eq!(out.iter().sum::<u64>(), total.load(Ordering::Relaxed));
+    }
+}

@@ -24,6 +24,20 @@
 //! hardware they stay put and the quantization temporaries overlay the
 //! spent MAC regions); the arithmetic performed is identical, and every
 //! step is a genuine `nc-sram` micro-op sequence.
+//!
+//! ## Sharding
+//!
+//! The hardware runs thousands of arrays in lockstep; the simulator mirrors
+//! that shape. Each pass is expressed as independent **array-shard jobs**
+//! (one job per output window in pass 1+2, one per 256-lane array run in
+//! pass 3 and the pooling/ranging helpers), dispatched through an
+//! [`ExecutionEngine`] — [`Sequential`](ExecutionEngine::Sequential) or
+//! [`Threaded`](ExecutionEngine::Threaded). Jobs draw recycled arrays from
+//! a shared [`ArrayPool`] and report their own [`CycleStats`]; shard results
+//! are folded in job order, so both backends produce bit-identical outputs
+//! *and* identical cycle counts. The only synchronization point is the
+//! explicit inter-array reduce barrier before dynamic ranging
+//! (Section IV-D), which needs every shard's accumulators.
 
 use std::error::Error;
 use std::fmt;
@@ -35,7 +49,13 @@ use nc_dnn::{
     Requantizer, Shape,
 };
 use nc_sram::ops::copy_lanes_between;
-use nc_sram::{ComputeArray, CycleStats, Operand, SramError, COLS};
+use nc_sram::{ArrayPool, ComputeArray, CycleStats, Operand, SramError, COLS};
+
+use crate::engine::ExecutionEngine;
+
+/// The dedicated all-zero row every executor array reserves (mapping layer
+/// convention; see [`ComputeArray::set_zero_row`]).
+const ZERO_ROW: usize = 255;
 
 /// Result of a functional (bit-accurate) model execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,14 +113,34 @@ impl From<SramError> for FunctionalError {
 
 type Result<T> = std::result::Result<T, FunctionalError>;
 
-/// Runs the whole model bit-accurately on simulated compute arrays.
+/// Runs the whole model bit-accurately on simulated compute arrays, using
+/// the sequential reference backend.
 ///
 /// # Errors
 ///
 /// Fails if any convolution sub-layer lacks weights.
 pub fn run_model(model: &Model, input: &QTensor) -> Result<FunctionalResult> {
+    run_model_with(model, input, ExecutionEngine::Sequential)
+}
+
+/// Runs the whole model bit-accurately on simulated compute arrays with an
+/// explicit execution engine. Outputs, sub-layer records and cycle counts
+/// are identical across engines.
+///
+/// # Errors
+///
+/// Fails if any convolution sub-layer lacks weights.
+///
+/// # Panics
+///
+/// Panics if the input shape does not match the model's input shape.
+pub fn run_model_with(
+    model: &Model,
+    input: &QTensor,
+    engine: ExecutionEngine,
+) -> Result<FunctionalResult> {
     assert_eq!(input.shape(), model.input_shape, "input shape mismatch");
-    let mut exec = Exec::default();
+    let mut exec = Exec::new(engine)?;
     let mut cur = input.clone();
     let mut sublayers = Vec::new();
     for layer in &model.layers {
@@ -114,9 +154,13 @@ pub fn run_model(model: &Model, input: &QTensor) -> Result<FunctionalResult> {
     })
 }
 
-#[derive(Default)]
 struct Exec {
     cycles: CycleStats,
+    engine: ExecutionEngine,
+    /// Shared recycling pool: arrays persist across layers and shard jobs
+    /// instead of being reallocated per run (in hardware they are the same
+    /// physical SRAM throughout).
+    pool: ArrayPool,
 }
 
 /// A branch's final output awaiting the block-shared range.
@@ -141,6 +185,14 @@ impl AccChunk {
 }
 
 impl Exec {
+    fn new(engine: ExecutionEngine) -> Result<Self> {
+        Ok(Exec {
+            cycles: CycleStats::new(),
+            engine,
+            pool: ArrayPool::with_zero_row(ZERO_ROW)?,
+        })
+    }
+
     fn run_layer(
         &mut self,
         layer: &Layer,
@@ -304,6 +356,10 @@ impl Exec {
 
     /// Computes the (ReLU'd, when fused) integer accumulators of one
     /// convolution sub-layer entirely with bit-serial array operations.
+    ///
+    /// Every output window is an independent shard job (it owns its arrays
+    /// for the MAC/reduce and assembly passes); the shards meet only at the
+    /// ranging barrier below.
     fn conv_accumulate(&mut self, conv: &Conv2d, input: &QTensor) -> Result<AccChunk> {
         let spec = &conv.spec;
         if conv.weights.is_none() {
@@ -360,35 +416,56 @@ impl Exec {
             1
         };
 
-        let mut acc_values = vec![0i64; out_shape.len()];
-        let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
+        // Passes 1+2, sharded per output window: each job MACs and reduces
+        // every filter group against its window, then assembles the
+        // accumulators, on arrays drawn from the shared pool.
+        let engine = self.engine;
+        let pool = &self.pool;
+        let positions = out_shape.h * out_shape.w;
+        let filter_lanes = &filter_lanes;
+        let c0 = &c0;
+        let shards = engine.run(positions, |pos| -> Result<(Vec<i64>, CycleStats)> {
+            let (ey, ex) = (pos / out_shape.w, pos % out_shape.w);
+            let mut cycles = CycleStats::new();
+            let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
+            gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
+            let input_lanes = chunk_bytes(&window_bytes, packing, split, eff_window, spec.c);
 
-        for ey in 0..out_shape.h {
-            for ex in 0..out_shape.w {
-                gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
-                let input_lanes = chunk_bytes(&window_bytes, packing, split, eff_window, spec.c);
-
-                let mut m = 0;
-                while m < spec.m {
-                    let group_count = groups_per_array.min(spec.m - m);
-                    let (s1s, s2s) = self.mac_reduce_run(
-                        &filter_lanes[m..m + group_count],
-                        &input_lanes,
-                        eff_window,
-                        group_span,
-                        arrays_per_filter,
-                    )?;
-                    for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
-                        // Pass 2: ACC assembly + fused ReLU, in-cache.
-                        let acc_val = self.assemble_acc(*s1, *s2, zp_w, c0[m + g], spec.relu)?;
-                        acc_values[out_shape.index(ey, ex, m + g)] = acc_val;
-                    }
-                    m += group_count;
+            let mut vals = vec![0i64; spec.m];
+            let mut m = 0;
+            while m < spec.m {
+                let group_count = groups_per_array.min(spec.m - m);
+                let (s1s, s2s) = mac_reduce_run(
+                    pool,
+                    &mut cycles,
+                    &filter_lanes[m..m + group_count],
+                    &input_lanes,
+                    eff_window,
+                    group_span,
+                    arrays_per_filter,
+                )?;
+                for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
+                    // Pass 2: ACC assembly + fused ReLU, in-cache.
+                    vals[m + g] =
+                        assemble_acc(pool, &mut cycles, *s1, *s2, zp_w, c0[m + g], spec.relu)?;
                 }
+                m += group_count;
+            }
+            Ok((vals, cycles))
+        });
+
+        let mut acc_values = vec![0i64; out_shape.len()];
+        for (pos, shard) in shards.into_iter().enumerate() {
+            let (vals, cycles) = shard?;
+            self.cycles += cycles;
+            let (ey, ex) = (pos / out_shape.w, pos % out_shape.w);
+            for (m, v) in vals.into_iter().enumerate() {
+                acc_values[out_shape.index(ey, ex, m)] = v;
             }
         }
 
-        // Dynamic ranging (Section IV-D): per-array min/max trees, combined
+        // Inter-array reduce barrier — dynamic ranging (Section IV-D) needs
+        // every shard's accumulators: per-array min/max trees, combined
         // across arrays and slices by bus+ring transfers (host-combined
         // here, exactly like the paper's per-array results).
         let (min, max) = self.min_max_in_cache(&acc_values)?;
@@ -411,149 +488,23 @@ impl Exec {
     /// In-cache dynamic ranging: accumulator values are loaded with a 2^38
     /// offset (so two's-complement order matches unsigned order) and
     /// reduced by the in-array min/max trees of Section IV-D; per-chunk
-    /// results combine like per-array results do over the bus and ring.
+    /// results combine like per-array results do over the bus and ring
+    /// (each 256-lane chunk is one shard job).
     fn min_max_in_cache(&mut self, values: &[i64]) -> Result<(i64, i64)> {
-        const W: usize = 40;
-        const OFFSET: i64 = 1 << 38; // |ACC| < 2^38 stays positive
-        let v = Operand::new(0, W)?;
-        let scratch = Operand::new(40, W)?;
-        let cmp = Operand::new(80, W)?;
-        const DUMP: usize = 250;
+        let engine = self.engine;
+        let pool = &self.pool;
+        let chunks: Vec<&[i64]> = values.chunks(COLS).collect();
+        let shards = engine.run(chunks.len(), |i| min_max_chunk(pool, chunks[i]));
 
         let mut min = i64::MAX;
         let mut max = i64::MIN;
-        for chunk in values.chunks(COLS) {
-            for want_max in [false, true] {
-                let mut arr = ComputeArray::with_zero_row(255)?;
-                for lane in 0..COLS {
-                    // Idle lanes replicate the first value (neutral for
-                    // both reductions).
-                    let val = chunk.get(lane).copied().unwrap_or(chunk[0]);
-                    arr.poke_lane(lane, v, (val + OFFSET) as u64);
-                }
-                if want_max {
-                    self.cycles += arr.reduce_max(v, scratch, cmp, DUMP, COLS)?;
-                    max = max.max(arr.peek_lane(0, v) as i64 - OFFSET);
-                } else {
-                    self.cycles += arr.reduce_min(v, scratch, cmp, DUMP, COLS)?;
-                    min = min.min(arr.peek_lane(0, v) as i64 - OFFSET);
-                }
-            }
+        for shard in shards {
+            let (lo, hi, cycles) = shard?;
+            self.cycles += cycles;
+            min = min.min(lo);
+            max = max.max(hi);
         }
         Ok((min, max))
-    }
-
-    /// One MAC+reduce run: `groups` filters (or one filter spanning
-    /// `arrays_per_filter` arrays) against one input window.
-    fn mac_reduce_run(
-        &mut self,
-        filters: &[Vec<Vec<u8>>],
-        input_lanes: &[Vec<u8>],
-        eff_window: usize,
-        group_span: usize,
-        arrays_per_filter: usize,
-    ) -> Result<(Vec<u64>, Vec<u64>)> {
-        // Row layout of the pass-1 array (all regions disjoint, 202 rows).
-        let filter_byte = Operand::new(0, 8)?;
-        let input_byte = Operand::new(8, 8)?;
-        let scratch16 = Operand::new(16, 16)?;
-        let partial = Operand::new(32, 24)?;
-        let s2sum = Operand::new(56, 16)?;
-        let seg_a = Operand::new(72, 32)?;
-        let seg_b = Operand::new(104, 32)?;
-        let s2_a = Operand::new(136, 32)?;
-        let s2_b = Operand::new(168, 32)?;
-        const ZERO_ROW: usize = 255;
-
-        let groups = filters.len();
-        let mut partial_arrays = Vec::with_capacity(arrays_per_filter);
-
-        for array_idx in 0..arrays_per_filter {
-            let mut arr = ComputeArray::with_zero_row(ZERO_ROW)?;
-            self.cycles += arr.zero(partial)? + arr.zero(s2sum)?;
-
-            // Lane slice handled by this array.
-            let lane_base = array_idx * COLS;
-
-            for t in 0..eff_window {
-                // Stream tap t of the filter and input bytes (loader path;
-                // transfer time is the movement model's concern).
-                for (g, chunks) in filters.iter().enumerate() {
-                    for l in 0..group_span {
-                        let lane = g * group_span + l;
-                        let byte = chunks.get(lane_base + l).map_or(0, |c| c[t]);
-                        arr.poke_lane(lane, filter_byte, u64::from(byte));
-                    }
-                }
-                for l in 0..group_span {
-                    let byte = input_lanes.get(lane_base + l).map_or(0, |c| c[t]);
-                    for g in 0..groups {
-                        arr.poke_lane(g * group_span + l, input_byte, u64::from(byte));
-                    }
-                }
-                // S1 += w * x ; S2 += x — all lanes in parallel.
-                self.cycles += arr.mul(filter_byte, input_byte, scratch16)?;
-                self.cycles += arr.add_assign(partial, scratch16)?;
-                self.cycles += arr.add_assign(s2sum, input_byte)?;
-            }
-
-            // Widen into the 4-byte reduction segments (Figure 10b).
-            self.cycles += arr.copy_zext(partial, seg_a)?;
-            self.cycles += arr.copy_zext(s2sum, s2_a)?;
-            // Grouped in-array channel reduction.
-            self.cycles += arr.reduce_sum_grouped(seg_a, seg_b, group_span, groups)?;
-            self.cycles += arr.reduce_sum_grouped(s2_a, s2_b, group_span, groups)?;
-            partial_arrays.push(arr);
-        }
-
-        // Cross-array fold (filters spanning two arrays share sense amps,
-        // Section III-D): transfer partner sums into array 0 and add.
-        let (first, rest) = partial_arrays.split_at_mut(1);
-        let arr0 = &mut first[0];
-        for partner in rest.iter_mut() {
-            self.cycles += copy_lanes_between(partner, seg_a, arr0, seg_b, 0, 1)?;
-            self.cycles += arr0.add_assign(seg_a, seg_b)?;
-            self.cycles += copy_lanes_between(partner, s2_a, arr0, s2_b, 0, 1)?;
-            self.cycles += arr0.add_assign(s2_a, s2_b)?;
-        }
-
-        let mut s1s = Vec::with_capacity(groups);
-        let mut s2s = Vec::with_capacity(groups);
-        for g in 0..groups {
-            s1s.push(arr0.peek_lane(g * group_span, seg_a));
-            s2s.push(arr0.peek_lane(g * group_span, s2_a));
-        }
-        Ok((s1s, s2s))
-    }
-
-    // ------------------------------------------------------------------
-    // Pass 2: accumulator assembly + ReLU
-    // ------------------------------------------------------------------
-
-    /// Assembles `ACC = S1 - zp_w*S2 + C0` in a 40-bit two's-complement
-    /// region and applies the MSB-masked ReLU when fused.
-    fn assemble_acc(&mut self, s1: u64, s2: u64, zp_w: u64, c0: i64, relu: bool) -> Result<i64> {
-        const W: usize = 40;
-        let s1_op = Operand::new(0, 32)?;
-        let s2_op = Operand::new(32, 32)?;
-        let t = Operand::new(64, W)?;
-        let u = Operand::new(104, W)?;
-        let scratch = Operand::new(144, W)?;
-        let c0_op = Operand::new(184, W)?;
-        let mut arr = ComputeArray::with_zero_row(255)?;
-
-        arr.poke_lane(0, s1_op, s1);
-        arr.poke_lane(0, s2_op, s2);
-        arr.poke_lane_signed(0, c0_op, clamp_to_bits(c0, W));
-
-        self.cycles += arr.copy_zext(s1_op, t)?;
-        self.cycles += arr.mul_scalar(s2_op, zp_w, u)?;
-        self.cycles += arr.sub(t, u, t, scratch)?;
-        self.cycles += arr.add_assign(t, c0_op)?;
-        if relu {
-            self.cycles += arr.relu(t)?;
-        }
-        Ok(arr.peek_lane_signed(0, t))
     }
 
     // ------------------------------------------------------------------
@@ -562,71 +513,48 @@ impl Exec {
 
     /// Requantizes a chunk of accumulators in-cache: subtract the layer
     /// minimum, ReLU-clamp, scalar multiply, shift by row re-addressing,
-    /// saturate at 255. Processes up to 256 outputs per array run.
+    /// saturate at 255. Each 256-output array run is one shard job.
     fn requantize(
         &mut self,
         acc: &AccChunk,
         requant: Requantizer,
         out_quant: ActQuant,
     ) -> Result<QTensor> {
-        let d_op = Operand::new(0, 40)?;
-        let d32 = d_op.slice(0, 32)?;
-        let prod = Operand::new(40, 48)?;
-        const DUMP: usize = 250;
+        let engine = self.engine;
+        let pool = &self.pool;
+        let chunks: Vec<&[i64]> = acc.values.chunks(COLS).collect();
+        let shards = engine.run(chunks.len(), |i| requant_chunk(pool, chunks[i], requant));
 
-        let mut out = vec![0u8; acc.values.len()];
-        for (chunk_idx, chunk) in acc.values.chunks(COLS).enumerate() {
-            let mut arr = ComputeArray::with_zero_row(255)?;
-            for (lane, &v) in chunk.iter().enumerate() {
-                arr.poke_lane_signed(lane, d_op, clamp_to_bits(v, 40));
-            }
-            // D = max(ACC - acc_min, 0).
-            self.cycles += arr.add_scalar_signed(d_op, -requant.acc_min)?;
-            self.cycles += arr.relu(d_op)?;
-            // P = D * M; q = min(P >> SH, 255).
-            self.cycles += arr.mul_scalar(d32, u64::from(requant.multiplier), prod)?;
-            let shifted = prod.slice(requant.shift as usize, 16)?;
-            self.cycles += arr.clamp_max_scalar(shifted, 255, DUMP)?;
-            let q_op = shifted.slice(0, 8)?;
-            for lane in 0..chunk.len() {
-                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, q_op) as u8;
-            }
+        let mut out = Vec::with_capacity(acc.values.len());
+        for shard in shards {
+            let (bytes, cycles) = shard?;
+            self.cycles += cycles;
+            out.extend_from_slice(&bytes);
         }
         Ok(QTensor::from_vec(acc.shape, out_quant, out))
     }
 
     /// In-cache code-to-code requantization of a pool-final branch
     /// (`q' = clamp((q*m + c) >> sh)`, Section IV-D batch-norm style
-    /// multiply/add/shift).
+    /// multiply/add/shift), sharded per 256-lane array run.
     fn code_requant(
         &mut self,
         t: &QTensor,
         map: CodeRequant,
         out_quant: ActQuant,
     ) -> Result<QTensor> {
-        let q_in = Operand::new(0, 8)?;
-        let prod = Operand::new(8, 48)?;
-        let shape = t.shape();
-        let mut out = vec![0u8; shape.len()];
-        let m_abs = map.m.unsigned_abs();
-        for (chunk_idx, chunk) in t.data().chunks(COLS).enumerate() {
-            let mut arr = ComputeArray::with_zero_row(255)?;
-            for (lane, &q) in chunk.iter().enumerate() {
-                arr.poke_lane(lane, q_in, u64::from(q));
-            }
-            self.cycles += arr.mul_scalar(q_in, m_abs, prod)?;
-            // m is non-negative for real scale ratios; fold c (possibly
-            // negative) as a two's-complement scalar add.
-            self.cycles += arr.add_scalar_signed(prod, map.c)?;
-            self.cycles += arr.relu(prod)?;
-            let shifted = prod.slice(map.sh as usize, 16)?;
-            self.cycles += arr.clamp_max_scalar(shifted, 255, 250)?;
-            let q_op = shifted.slice(0, 8)?;
-            for lane in 0..chunk.len() {
-                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, q_op) as u8;
-            }
+        let engine = self.engine;
+        let pool = &self.pool;
+        let chunks: Vec<&[u8]> = t.data().chunks(COLS).collect();
+        let shards = engine.run(chunks.len(), |i| code_requant_chunk(pool, chunks[i], map));
+
+        let mut out = Vec::with_capacity(t.data().len());
+        for shard in shards {
+            let (bytes, cycles) = shard?;
+            self.cycles += cycles;
+            out.extend_from_slice(&bytes);
         }
-        Ok(QTensor::from_vec(shape, out_quant, out))
+        Ok(QTensor::from_vec(t.shape(), out_quant, out))
     }
 
     // ------------------------------------------------------------------
@@ -665,75 +593,310 @@ impl Exec {
             }
         }
 
-        let mut out = vec![0u8; total];
-        match pool.kind {
-            PoolKind::Max => self.pool_max(&windows, &mut out)?,
-            PoolKind::Avg => self.pool_avg(&windows, &mut out)?,
+        // All lanes (across every array run) advance through the same
+        // number of rounds, in lockstep with the widest window.
+        let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
+        let engine = self.engine;
+        let shared_pool = &self.pool;
+        let chunks: Vec<&[Vec<u8>]> = windows.chunks(COLS).collect();
+        let kind = pool.kind;
+        let shards = engine.run(chunks.len(), |i| match kind {
+            PoolKind::Max => pool_max_chunk(shared_pool, chunks[i], max_window),
+            PoolKind::Avg => pool_avg_chunk(shared_pool, chunks[i], max_window),
+        });
+
+        let mut out = Vec::with_capacity(total);
+        for shard in shards {
+            let (bytes, cycles) = shard?;
+            self.cycles += cycles;
+            out.extend_from_slice(&bytes);
         }
         Ok(QTensor::from_vec(out_shape, input.params(), out))
     }
+}
 
-    /// Max pooling: running max via subtract / MSB mask / selective copy.
-    fn pool_max(&mut self, windows: &[Vec<u8>], out: &mut [u8]) -> Result<()> {
-        let acc = Operand::new(0, 8)?;
-        let x = Operand::new(8, 8)?;
-        let scratch = Operand::new(16, 8)?;
-        const DUMP: usize = 250;
-        let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
+// ----------------------------------------------------------------------
+// Shard jobs: each runs on arrays drawn from the shared pool and reports
+// the cycles it consumed, so results fold deterministically in job order.
+// ----------------------------------------------------------------------
 
-        for (chunk_idx, chunk) in windows.chunks(COLS).enumerate() {
-            let mut arr = ComputeArray::with_zero_row(255)?;
-            for (lane, w) in chunk.iter().enumerate() {
-                arr.poke_lane(lane, acc, u64::from(w[0]));
-            }
-            for i in 1..max_window {
-                for (lane, w) in chunk.iter().enumerate() {
-                    // Short windows (image edges) repeat their first
-                    // element, which is a no-op for max.
-                    let v = w.get(i).copied().unwrap_or(w[0]);
-                    arr.poke_lane(lane, x, u64::from(v));
+/// One MAC+reduce run: `groups` filters (or one filter spanning
+/// `arrays_per_filter` arrays) against one input window.
+fn mac_reduce_run(
+    pool: &ArrayPool,
+    cycles: &mut CycleStats,
+    filters: &[Vec<Vec<u8>>],
+    input_lanes: &[Vec<u8>],
+    eff_window: usize,
+    group_span: usize,
+    arrays_per_filter: usize,
+) -> Result<(Vec<u64>, Vec<u64>)> {
+    // Row layout of the pass-1 array (all regions disjoint, 202 rows).
+    let filter_byte = Operand::new(0, 8)?;
+    let input_byte = Operand::new(8, 8)?;
+    let scratch16 = Operand::new(16, 16)?;
+    let partial = Operand::new(32, 24)?;
+    let s2sum = Operand::new(56, 16)?;
+    let seg_a = Operand::new(72, 32)?;
+    let seg_b = Operand::new(104, 32)?;
+    let s2_a = Operand::new(136, 32)?;
+    let s2_b = Operand::new(168, 32)?;
+
+    let groups = filters.len();
+    let mut partial_arrays = Vec::with_capacity(arrays_per_filter);
+
+    for array_idx in 0..arrays_per_filter {
+        let mut arr = pool.acquire();
+        *cycles += arr.zero(partial)? + arr.zero(s2sum)?;
+
+        // Lane slice handled by this array.
+        let lane_base = array_idx * COLS;
+
+        for t in 0..eff_window {
+            // Stream tap t of the filter and input bytes (loader path;
+            // transfer time is the movement model's concern).
+            for (g, chunks) in filters.iter().enumerate() {
+                for l in 0..group_span {
+                    let lane = g * group_span + l;
+                    let byte = chunks.get(lane_base + l).map_or(0, |c| c[t]);
+                    arr.poke_lane(lane, filter_byte, u64::from(byte));
                 }
-                self.cycles += arr.max_assign(acc, x, scratch, DUMP)?;
             }
-            for lane in 0..chunk.len() {
-                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, acc) as u8;
+            for l in 0..group_span {
+                let byte = input_lanes.get(lane_base + l).map_or(0, |c| c[t]);
+                for g in 0..groups {
+                    arr.poke_lane(g * group_span + l, input_byte, u64::from(byte));
+                }
             }
+            // S1 += w * x ; S2 += x — all lanes in parallel.
+            *cycles += arr.mul(filter_byte, input_byte, scratch16)?;
+            *cycles += arr.add_assign(partial, scratch16)?;
+            *cycles += arr.add_assign(s2sum, input_byte)?;
         }
-        Ok(())
+
+        // Widen into the 4-byte reduction segments (Figure 10b).
+        *cycles += arr.copy_zext(partial, seg_a)?;
+        *cycles += arr.copy_zext(s2sum, s2_a)?;
+        // Grouped in-array channel reduction.
+        *cycles += arr.reduce_sum_grouped(seg_a, seg_b, group_span, groups)?;
+        *cycles += arr.reduce_sum_grouped(s2_a, s2_b, group_span, groups)?;
+        partial_arrays.push(arr);
     }
 
-    /// Average pooling: bit-serial window sum, then lane-wise restoring
-    /// division by the per-lane valid-element count.
-    fn pool_avg(&mut self, windows: &[Vec<u8>], out: &mut [u8]) -> Result<()> {
-        let x = Operand::new(0, 8)?;
-        let sum = Operand::new(8, 16)?;
-        let den = Operand::new(24, 8)?;
-        let quot = Operand::new(32, 16)?;
-        let rem = Operand::new(48, 9)?;
-        let trial = Operand::new(57, 9)?;
-        let notden = Operand::new(66, 9)?;
-        let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
-
-        for (chunk_idx, chunk) in windows.chunks(COLS).enumerate() {
-            let mut arr = ComputeArray::with_zero_row(255)?;
-            self.cycles += arr.zero(sum)?;
-            for i in 0..max_window {
-                for (lane, w) in chunk.iter().enumerate() {
-                    let v = w.get(i).copied().unwrap_or(0);
-                    arr.poke_lane(lane, x, u64::from(v));
-                }
-                self.cycles += arr.add_assign(sum, x)?;
-            }
-            for (lane, w) in chunk.iter().enumerate() {
-                arr.poke_lane(lane, den, w.len() as u64);
-            }
-            self.cycles += arr.div(sum, den, quot, rem, trial, notden)?;
-            for lane in 0..chunk.len() {
-                out[chunk_idx * COLS + lane] = arr.peek_lane(lane, quot.slice(0, 8)?) as u8;
-            }
-        }
-        Ok(())
+    // Cross-array fold (filters spanning two arrays share sense amps,
+    // Section III-D): transfer partner sums into array 0 and add.
+    let (first, rest) = partial_arrays.split_at_mut(1);
+    let arr0: &mut ComputeArray = &mut first[0];
+    for partner in rest.iter_mut() {
+        *cycles += copy_lanes_between(partner, seg_a, arr0, seg_b, 0, 1)?;
+        *cycles += arr0.add_assign(seg_a, seg_b)?;
+        *cycles += copy_lanes_between(partner, s2_a, arr0, s2_b, 0, 1)?;
+        *cycles += arr0.add_assign(s2_a, s2_b)?;
     }
+
+    let mut s1s = Vec::with_capacity(groups);
+    let mut s2s = Vec::with_capacity(groups);
+    for g in 0..groups {
+        s1s.push(arr0.peek_lane(g * group_span, seg_a));
+        s2s.push(arr0.peek_lane(g * group_span, s2_a));
+    }
+    Ok((s1s, s2s))
+}
+
+/// Assembles `ACC = S1 - zp_w*S2 + C0` in a 40-bit two's-complement
+/// region and applies the MSB-masked ReLU when fused (pass 2).
+fn assemble_acc(
+    pool: &ArrayPool,
+    cycles: &mut CycleStats,
+    s1: u64,
+    s2: u64,
+    zp_w: u64,
+    c0: i64,
+    relu: bool,
+) -> Result<i64> {
+    const W: usize = 40;
+    let s1_op = Operand::new(0, 32)?;
+    let s2_op = Operand::new(32, 32)?;
+    let t = Operand::new(64, W)?;
+    let u = Operand::new(104, W)?;
+    let scratch = Operand::new(144, W)?;
+    let c0_op = Operand::new(184, W)?;
+    let mut arr = pool.acquire();
+
+    arr.poke_lane(0, s1_op, s1);
+    arr.poke_lane(0, s2_op, s2);
+    arr.poke_lane_signed(0, c0_op, clamp_to_bits(c0, W));
+
+    *cycles += arr.copy_zext(s1_op, t)?;
+    *cycles += arr.mul_scalar(s2_op, zp_w, u)?;
+    *cycles += arr.sub(t, u, t, scratch)?;
+    *cycles += arr.add_assign(t, c0_op)?;
+    if relu {
+        *cycles += arr.relu(t)?;
+    }
+    Ok(arr.peek_lane_signed(0, t))
+}
+
+/// One 256-lane min/max ranging run over a chunk of accumulators.
+fn min_max_chunk(pool: &ArrayPool, chunk: &[i64]) -> Result<(i64, i64, CycleStats)> {
+    const W: usize = 40;
+    const OFFSET: i64 = 1 << 38; // |ACC| < 2^38 stays positive
+    let v = Operand::new(0, W)?;
+    let scratch = Operand::new(40, W)?;
+    let cmp = Operand::new(80, W)?;
+    const DUMP: usize = 250;
+
+    let mut cycles = CycleStats::new();
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    for want_max in [false, true] {
+        let mut arr = pool.acquire();
+        for lane in 0..COLS {
+            // Idle lanes replicate the first value (neutral for both
+            // reductions).
+            let val = chunk.get(lane).copied().unwrap_or(chunk[0]);
+            arr.poke_lane(lane, v, (val + OFFSET) as u64);
+        }
+        if want_max {
+            cycles += arr.reduce_max(v, scratch, cmp, DUMP, COLS)?;
+            max = max.max(arr.peek_lane(0, v) as i64 - OFFSET);
+        } else {
+            cycles += arr.reduce_min(v, scratch, cmp, DUMP, COLS)?;
+            min = min.min(arr.peek_lane(0, v) as i64 - OFFSET);
+        }
+    }
+    Ok((min, max, cycles))
+}
+
+/// One 256-output requantization array run (pass 3).
+fn requant_chunk(
+    pool: &ArrayPool,
+    chunk: &[i64],
+    requant: Requantizer,
+) -> Result<(Vec<u8>, CycleStats)> {
+    let d_op = Operand::new(0, 40)?;
+    let d32 = d_op.slice(0, 32)?;
+    let prod = Operand::new(40, 48)?;
+    const DUMP: usize = 250;
+
+    let mut cycles = CycleStats::new();
+    let mut arr = pool.acquire();
+    for (lane, &v) in chunk.iter().enumerate() {
+        arr.poke_lane_signed(lane, d_op, clamp_to_bits(v, 40));
+    }
+    // D = max(ACC - acc_min, 0).
+    cycles += arr.add_scalar_signed(d_op, -requant.acc_min)?;
+    cycles += arr.relu(d_op)?;
+    // P = D * M; q = min(P >> SH, 255).
+    cycles += arr.mul_scalar(d32, u64::from(requant.multiplier), prod)?;
+    let shifted = prod.slice(requant.shift as usize, 16)?;
+    cycles += arr.clamp_max_scalar(shifted, 255, DUMP)?;
+    let q_op = shifted.slice(0, 8)?;
+    let mut out = vec![0u8; chunk.len()];
+    for (lane, byte) in out.iter_mut().enumerate() {
+        *byte = arr.peek_lane(lane, q_op) as u8;
+    }
+    Ok((out, cycles))
+}
+
+/// One 256-code code-to-code requantization array run.
+fn code_requant_chunk(
+    pool: &ArrayPool,
+    chunk: &[u8],
+    map: CodeRequant,
+) -> Result<(Vec<u8>, CycleStats)> {
+    let q_in = Operand::new(0, 8)?;
+    let prod = Operand::new(8, 48)?;
+    let m_abs = map.m.unsigned_abs();
+
+    let mut cycles = CycleStats::new();
+    let mut arr = pool.acquire();
+    for (lane, &q) in chunk.iter().enumerate() {
+        arr.poke_lane(lane, q_in, u64::from(q));
+    }
+    cycles += arr.mul_scalar(q_in, m_abs, prod)?;
+    // m is non-negative for real scale ratios; fold c (possibly negative)
+    // as a two's-complement scalar add.
+    cycles += arr.add_scalar_signed(prod, map.c)?;
+    cycles += arr.relu(prod)?;
+    let shifted = prod.slice(map.sh as usize, 16)?;
+    cycles += arr.clamp_max_scalar(shifted, 255, 250)?;
+    let q_op = shifted.slice(0, 8)?;
+    let mut out = vec![0u8; chunk.len()];
+    for (lane, byte) in out.iter_mut().enumerate() {
+        *byte = arr.peek_lane(lane, q_op) as u8;
+    }
+    Ok((out, cycles))
+}
+
+/// Max pooling over one 256-lane chunk: running max via subtract / MSB
+/// mask / selective copy.
+fn pool_max_chunk(
+    pool: &ArrayPool,
+    chunk: &[Vec<u8>],
+    max_window: usize,
+) -> Result<(Vec<u8>, CycleStats)> {
+    let acc = Operand::new(0, 8)?;
+    let x = Operand::new(8, 8)?;
+    let scratch = Operand::new(16, 8)?;
+    const DUMP: usize = 250;
+
+    let mut cycles = CycleStats::new();
+    let mut arr = pool.acquire();
+    for (lane, w) in chunk.iter().enumerate() {
+        arr.poke_lane(lane, acc, u64::from(w[0]));
+    }
+    for i in 1..max_window {
+        for (lane, w) in chunk.iter().enumerate() {
+            // Short windows (image edges) repeat their first element,
+            // which is a no-op for max.
+            let v = w.get(i).copied().unwrap_or(w[0]);
+            arr.poke_lane(lane, x, u64::from(v));
+        }
+        cycles += arr.max_assign(acc, x, scratch, DUMP)?;
+    }
+    let mut out = vec![0u8; chunk.len()];
+    for (lane, byte) in out.iter_mut().enumerate() {
+        *byte = arr.peek_lane(lane, acc) as u8;
+    }
+    Ok((out, cycles))
+}
+
+/// Average pooling over one 256-lane chunk: bit-serial window sum, then
+/// lane-wise restoring division by the per-lane valid-element count.
+fn pool_avg_chunk(
+    pool: &ArrayPool,
+    chunk: &[Vec<u8>],
+    max_window: usize,
+) -> Result<(Vec<u8>, CycleStats)> {
+    let x = Operand::new(0, 8)?;
+    let sum = Operand::new(8, 16)?;
+    let den = Operand::new(24, 8)?;
+    let quot = Operand::new(32, 16)?;
+    let rem = Operand::new(48, 9)?;
+    let trial = Operand::new(57, 9)?;
+    let notden = Operand::new(66, 9)?;
+
+    let mut cycles = CycleStats::new();
+    let mut arr = pool.acquire();
+    cycles += arr.zero(sum)?;
+    for i in 0..max_window {
+        for (lane, w) in chunk.iter().enumerate() {
+            let v = w.get(i).copied().unwrap_or(0);
+            arr.poke_lane(lane, x, u64::from(v));
+        }
+        cycles += arr.add_assign(sum, x)?;
+    }
+    for (lane, w) in chunk.iter().enumerate() {
+        arr.poke_lane(lane, den, w.len() as u64);
+    }
+    cycles += arr.div(sum, den, quot, rem, trial, notden)?;
+    let q_op = quot.slice(0, 8)?;
+    let mut out = vec![0u8; chunk.len()];
+    for (lane, byte) in out.iter_mut().enumerate() {
+        *byte = arr.peek_lane(lane, q_op) as u8;
+    }
+    Ok((out, cycles))
 }
 
 // ----------------------------------------------------------------------
@@ -887,6 +1050,14 @@ mod tests {
             assert_eq!(a, b, "sub-layer record mismatch for {}", a.name);
         }
         assert!(ours.cycles.compute_cycles > 0);
+
+        // The threaded backend must be observably identical to sequential:
+        // bit-identical outputs and records, identical cycle counts.
+        let threaded = run_model_with(model, &input, ExecutionEngine::from_threads(4))
+            .expect("threaded functional run");
+        assert_eq!(threaded.output.data(), ours.output.data());
+        assert_eq!(threaded.sublayers, ours.sublayers);
+        assert_eq!(threaded.cycles, ours.cycles);
     }
 
     #[test]
@@ -950,11 +1121,29 @@ mod tests {
     }
 
     #[test]
+    fn oversubscribed_threads_still_agree() {
+        // More workers than shard jobs (1x1 output): the engine must not
+        // deadlock, skip, or duplicate work.
+        let conv = random_conv("c", (1, 1), 6, 3, 1, Padding::Valid, true, 19);
+        let model = single_conv_model(conv, Shape::new(1, 1, 6));
+        let input = random_input(model.input_shape, model.input_quant, 29);
+        let seq = run_model(&model, &input).expect("sequential");
+        let thr =
+            run_model_with(&model, &input, ExecutionEngine::from_threads(16)).expect("threaded");
+        assert_eq!(seq.output.data(), thr.output.data());
+        assert_eq!(seq.cycles, thr.cycles);
+    }
+
+    #[test]
     fn missing_weights_is_an_error() {
         let model = nc_dnn::inception::inception_v3();
         let input = random_input(model.input_shape, model.input_quant, 0);
         let err = run_model(&model, &input).unwrap_err();
         assert!(matches!(err, FunctionalError::MissingWeights { .. }));
         assert!(err.to_string().contains("weights"));
+
+        // The threaded backend reports the same error.
+        let err = run_model_with(&model, &input, ExecutionEngine::from_threads(2)).unwrap_err();
+        assert!(matches!(err, FunctionalError::MissingWeights { .. }));
     }
 }

@@ -14,6 +14,8 @@
 //! - [`batching`]: Section IV-E batch scheduling behind Figure 16;
 //! - [`cost`]: paper-published vs micro-op-derived cycle-cost models;
 //! - [`isa`]: the Section IV-F instruction/FSM execution model;
+//! - [`engine`]: the work-sharded execution engine (sequential or threaded
+//!   backends) the simulators dispatch independent shard jobs through;
 //! - [`functional`]: the bit-accurate executor that runs layers on real
 //!   [`nc_sram::ComputeArray`]s and must match the [`nc_dnn::reference`]
 //!   golden model bit-for-bit.
@@ -39,16 +41,18 @@ pub mod batching;
 mod config;
 pub mod cost;
 pub mod energy;
+pub mod engine;
 pub mod functional;
 pub mod isa;
 pub mod mapping;
 pub mod sparsity;
 pub mod timing;
 
-pub use batching::{throughput_sweep, time_batch, BatchReport};
+pub use batching::{serve_requests, throughput_sweep, time_batch, BatchReport, ServingReport};
 pub use config::SystemConfig;
 pub use cost::{CostModel, CostModelKind, DerivedCostModel, PaperCostModel};
 pub use energy::{energy_of, EnergyReport};
+pub use engine::ExecutionEngine;
 pub use mapping::{plan_model, ConvMapping, LayerPlan, PoolMapping, UnitPlan};
 pub use timing::{time_inference, InferenceReport, LayerTiming, Phase, PhaseBreakdown};
 
@@ -94,6 +98,18 @@ impl NeuralCache {
         time_batch(&self.config, model, batch)
     }
 
+    /// Simulates serving `requests` concurrent inference requests across
+    /// the configured sockets (the throughput-serving driver; weights stay
+    /// stationary per socket, Section IV-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is zero.
+    #[must_use]
+    pub fn serve(&self, model: &nc_dnn::Model, requests: usize) -> ServingReport {
+        serve_requests(&self.config, model, requests)
+    }
+
     /// Energy/power of a timed inference (Table III).
     #[must_use]
     pub fn energy(&self, report: &InferenceReport) -> EnergyReport {
@@ -102,6 +118,8 @@ impl NeuralCache {
 
     /// Runs a model bit-accurately on simulated compute arrays and returns
     /// the output tensor (must match the [`nc_dnn::reference`] executor).
+    /// Shard jobs run on the engine selected by
+    /// [`SystemConfig::parallelism`]; the result is identical either way.
     ///
     /// # Errors
     ///
@@ -112,7 +130,7 @@ impl NeuralCache {
         model: &nc_dnn::Model,
         input: &nc_dnn::QTensor,
     ) -> Result<functional::FunctionalResult, functional::FunctionalError> {
-        functional::run_model(model, input)
+        functional::run_model_with(model, input, self.config.parallelism)
     }
 }
 
@@ -132,5 +150,18 @@ mod tests {
         let batch = system.run_batch(&model, 4);
         assert!(batch.throughput_ips > 0.0);
         assert_eq!(system.plan(&model).len(), 20);
+        let serving = system.serve(&model, 8);
+        assert_eq!(serving.requests, 8);
+        assert!(serving.throughput_ips > 0.0);
+    }
+
+    #[test]
+    fn parallel_config_matches_sequential_reports() {
+        // The parallelism knob changes host wall-clock only: simulated
+        // timing reports must be identical.
+        let model = inception_v3();
+        let seq = NeuralCache::new(SystemConfig::xeon_e5_2697_v3()).run_inference(&model);
+        let par = NeuralCache::new(SystemConfig::with_parallelism(4)).run_inference(&model);
+        assert_eq!(seq, par);
     }
 }

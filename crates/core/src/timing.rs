@@ -242,14 +242,16 @@ impl fmt::Display for InferenceReport {
 }
 
 /// Computes the timing of one inference (batch size 1) of `model`.
+///
+/// Layer timings are independent of one another, so they are dispatched as
+/// shard jobs through [`SystemConfig::parallelism`]; the report is
+/// identical under every engine (results fold in layer order).
 #[must_use]
 pub fn time_inference(config: &SystemConfig, model: &Model) -> InferenceReport {
     let plans = plan_model(model, &config.geometry);
-    let layers = plans
-        .iter()
-        .enumerate()
-        .map(|(i, plan)| time_layer(config, plan, i == 0))
-        .collect();
+    let layers = config
+        .parallelism
+        .run(plans.len(), |i| time_layer(config, &plans[i], i == 0));
     InferenceReport {
         model: model.name.clone(),
         cost_model: config.cost.model().name(),
@@ -506,6 +508,14 @@ mod tests {
             (2.5..7.0).contains(&total),
             "derived model total {total:.2} ms"
         );
+    }
+
+    #[test]
+    fn threaded_timing_is_identical_to_sequential() {
+        let model = inception_v3();
+        let seq = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+        let thr = time_inference(&SystemConfig::with_parallelism(4), &model);
+        assert_eq!(seq, thr, "parallelism must not change simulated timing");
     }
 
     #[test]

@@ -107,6 +107,19 @@ impl ComputeArray {
         self.stats = CycleStats::new();
     }
 
+    /// Restores the array to its just-constructed state: all cells cleared,
+    /// carry and tag latches dropped, cycle counters zeroed. The zero-row
+    /// configuration is kept (the cleared cells already satisfy it).
+    ///
+    /// This is how [`crate::ArrayPool`] recycles arrays between shard jobs
+    /// instead of reallocating the 256x256 cell storage.
+    pub fn reset(&mut self) {
+        self.array.clear();
+        self.carry = BitRow::zero();
+        self.tag = BitRow::zero();
+        self.stats = CycleStats::new();
+    }
+
     /// Current contents of the per-column carry latches.
     #[must_use]
     pub fn carry(&self) -> &BitRow {

@@ -59,6 +59,7 @@ mod compute;
 mod error;
 mod operand;
 pub mod ops;
+mod pool;
 mod sram;
 pub mod stats;
 mod transpose;
@@ -67,9 +68,27 @@ pub use bitrow::BitRow;
 pub use compute::{ComputeArray, Predicate};
 pub use error::SramError;
 pub use operand::Operand;
+pub use pool::{ArrayPool, PooledArray};
 pub use sram::SramArray;
 pub use stats::{ArrayEnergy, ArrayTimings, CycleStats};
 pub use transpose::{TransposeUnit, TMU_TILE_DIM};
+
+// Compile-time Send/Sync audit: sharded execution engines move arrays into
+// worker threads and share one pool between them, so these bounds are part
+// of the crate's public contract — a field change that loses them (e.g. an
+// Rc or raw pointer) must fail the build here rather than in a downstream
+// crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<ComputeArray>();
+    assert_send::<SramArray>();
+    assert_send_sync::<BitRow>();
+    assert_send_sync::<CycleStats>();
+    assert_send_sync::<Operand>();
+    assert_send_sync::<ArrayPool>();
+    assert_send::<PooledArray<'static>>();
+};
 
 /// Number of word lines (rows) in one 8KB compute SRAM array.
 pub const ROWS: usize = 256;

@@ -1,0 +1,205 @@
+//! A thread-safe recycling pool of [`ComputeArray`]s.
+//!
+//! The functional executor stands up one fresh 8KB array per
+//! MAC/reduce/assemble/requantize run — millions of 256x256-bit allocations
+//! over an Inception-class execution. In hardware the arrays are of course
+//! the same physical SRAM on every pass; the pool mirrors that by handing
+//! out *cleared* arrays and reclaiming them when the checkout handle drops,
+//! so the hot path stops paying the allocator. It is `Sync`, so the worker
+//! threads of a sharded execution engine can draw from one shared pool.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+use crate::{ComputeArray, Result};
+
+/// A recycling pool of [`ComputeArray`]s sharing one zero-row configuration.
+///
+/// # Examples
+///
+/// ```
+/// use nc_sram::{ArrayPool, Operand};
+///
+/// let pool = ArrayPool::with_zero_row(255)?;
+/// let op = Operand::new(0, 8)?;
+/// {
+///     let mut arr = pool.acquire();
+///     arr.poke_lane(0, op, 42);
+///     assert_eq!(arr.peek_lane(0, op), 42);
+/// } // handle drops: the array is cleared and returned to the pool
+/// let arr = pool.acquire(); // recycled, not reallocated
+/// assert_eq!(arr.peek_lane(0, op), 0);
+/// # Ok::<(), nc_sram::SramError>(())
+/// ```
+#[derive(Debug)]
+pub struct ArrayPool {
+    zero_row: Option<usize>,
+    free: Mutex<Vec<ComputeArray>>,
+}
+
+impl ArrayPool {
+    /// Creates an empty pool of arrays without a dedicated zero row.
+    #[must_use]
+    pub fn new() -> Self {
+        ArrayPool {
+            zero_row: None,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a pool whose arrays all reserve `row` as the dedicated
+    /// all-zero row (validated eagerly on a probe array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SramError::RowOutOfRange`] if `row` is out of range.
+    pub fn with_zero_row(row: usize) -> Result<Self> {
+        let probe = ComputeArray::with_zero_row(row)?;
+        Ok(ArrayPool {
+            zero_row: Some(row),
+            free: Mutex::new(vec![probe]),
+        })
+    }
+
+    /// Checks an array out of the pool, recycling a cleared one when
+    /// available and constructing a fresh one otherwise. The returned
+    /// handle dereferences to [`ComputeArray`] and returns the array to the
+    /// pool when dropped.
+    #[must_use]
+    pub fn acquire(&self) -> PooledArray<'_> {
+        let recycled = self.free.lock().expect("array pool poisoned").pop();
+        let arr = recycled.unwrap_or_else(|| self.fresh());
+        PooledArray {
+            arr: Some(arr),
+            pool: self,
+        }
+    }
+
+    /// Number of idle arrays currently held by the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the pool panicked while holding the lock.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("array pool poisoned").len()
+    }
+
+    fn fresh(&self) -> ComputeArray {
+        match self.zero_row {
+            Some(row) => ComputeArray::with_zero_row(row).expect("row validated at pool creation"),
+            None => ComputeArray::new(),
+        }
+    }
+
+    fn release(&self, mut arr: ComputeArray) {
+        arr.reset();
+        self.free.lock().expect("array pool poisoned").push(arr);
+    }
+}
+
+impl Default for ArrayPool {
+    fn default() -> Self {
+        ArrayPool::new()
+    }
+}
+
+/// A checked-out array; dereferences to [`ComputeArray`] and returns the
+/// (cleared) array to its [`ArrayPool`] on drop.
+#[derive(Debug)]
+pub struct PooledArray<'p> {
+    arr: Option<ComputeArray>,
+    pool: &'p ArrayPool,
+}
+
+impl Deref for PooledArray<'_> {
+    type Target = ComputeArray;
+    fn deref(&self) -> &ComputeArray {
+        self.arr.as_ref().expect("array present until drop")
+    }
+}
+
+impl DerefMut for PooledArray<'_> {
+    fn deref_mut(&mut self) -> &mut ComputeArray {
+        self.arr.as_mut().expect("array present until drop")
+    }
+}
+
+impl Drop for PooledArray<'_> {
+    fn drop(&mut self) {
+        if let Some(arr) = self.arr.take() {
+            self.pool.release(arr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operand;
+
+    #[test]
+    fn recycles_instead_of_reallocating() {
+        let pool = ArrayPool::with_zero_row(255).unwrap();
+        assert_eq!(pool.idle(), 1, "probe array is retained");
+        {
+            let _a = pool.acquire();
+            let _b = pool.acquire();
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2, "both handles returned their arrays");
+        {
+            let _a = pool.acquire();
+            assert_eq!(pool.idle(), 1, "second array stays pooled");
+        }
+    }
+
+    #[test]
+    fn recycled_arrays_come_back_clean() {
+        let pool = ArrayPool::with_zero_row(255).unwrap();
+        let op = Operand::new(0, 16).unwrap();
+        {
+            let mut arr = pool.acquire();
+            arr.poke_lane(7, op, 0xBEEF);
+            arr.preset_tag(true);
+            arr.preset_carry(true);
+            let other = Operand::new(16, 16).unwrap();
+            let scratch = Operand::new(32, 17).unwrap();
+            arr.poke_lane(7, other, 1);
+            arr.add(op, other, scratch).unwrap();
+            assert!(arr.stats().compute_cycles > 0);
+        }
+        let arr = pool.acquire();
+        assert_eq!(arr.peek_lane(7, op), 0, "cells cleared");
+        assert!(!arr.tag().get(7), "tag latches cleared");
+        assert!(!arr.carry().get(7), "carry latches cleared");
+        assert_eq!(arr.stats().total_cycles(), 0, "stats cleared");
+        assert_eq!(arr.zero_row(), Some(255), "zero row preserved");
+    }
+
+    #[test]
+    fn pool_without_zero_row_hands_out_plain_arrays() {
+        let pool = ArrayPool::new();
+        let arr = pool.acquire();
+        assert_eq!(arr.zero_row(), None);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = ArrayPool::with_zero_row(255).unwrap();
+        let op = Operand::new(0, 8).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let mut arr = pool.acquire();
+                        arr.poke_lane(0, op, (t + i) % 256);
+                        assert_eq!(arr.peek_lane(0, op), (t + i) % 256);
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() >= 1);
+    }
+}

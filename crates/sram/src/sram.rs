@@ -65,6 +65,12 @@ impl SramArray {
         Ok(())
     }
 
+    /// Clears every cell (all word lines to zero) without reallocating the
+    /// backing storage. Used when recycling arrays through a pool.
+    pub fn clear(&mut self) {
+        self.rows.fill(BitRow::zero());
+    }
+
     /// Two-row compute activation: senses rows `a` and `b` simultaneously.
     ///
     /// The stored data is unaffected (the lowered read-word-line voltage

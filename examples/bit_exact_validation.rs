@@ -6,6 +6,7 @@
 //! Run with: `cargo run --release --example bit_exact_validation`
 
 use neural_cache_repro::cache::functional;
+use neural_cache_repro::cache::ExecutionEngine;
 use neural_cache_repro::dnn::reference;
 use neural_cache_repro::dnn::workload::{random_input, tiny_cnn};
 
@@ -19,6 +20,19 @@ fn main() {
 
     println!("running bit-serial in-cache executor...");
     let cache = functional::run_model(&model, &input).expect("functional execution");
+
+    println!("running bit-serial in-cache executor (threaded x4 engine)...");
+    let threaded = functional::run_model_with(&model, &input, ExecutionEngine::from_threads(4))
+        .expect("threaded functional execution");
+    assert_eq!(
+        cache.output.data(),
+        threaded.output.data(),
+        "threaded engine must be bit-identical to sequential"
+    );
+    assert_eq!(
+        cache.cycles, threaded.cycles,
+        "threaded engine must report identical cycles"
+    );
 
     assert_eq!(
         golden.output.data(),

@@ -3,6 +3,7 @@
 //! randomized networks (the paper's TensorFlow-trace matching, Section V).
 
 use neural_cache_repro::cache::functional;
+use neural_cache_repro::cache::ExecutionEngine;
 use neural_cache_repro::dnn::reference;
 use neural_cache_repro::dnn::workload::{
     mini_inception, random_conv, random_input, single_conv_model, tiny_cnn,
@@ -107,6 +108,36 @@ fn inception_stem_slice_is_bit_exact() {
         Shape::new(11, 11, 3),
     );
     assert_bit_exact(&model, 70);
+}
+
+#[test]
+fn threaded_engine_is_bit_exact_on_mini_inception() {
+    // The Inception v3 functional proxy under the sharded Threaded backend:
+    // outputs, records and cycle counts must be identical to Sequential
+    // (which assert_bit_exact already pinned to the golden executor).
+    let model = mini_inception(3);
+    let input = random_input(model.input_shape, model.input_quant, 40);
+    let seq = functional::run_model(&model, &input).expect("sequential execution");
+    let thr = functional::run_model_with(&model, &input, ExecutionEngine::from_threads(4))
+        .expect("threaded execution");
+    assert_eq!(seq.output.data(), thr.output.data(), "outputs diverged");
+    assert_eq!(seq.sublayers, thr.sublayers, "records diverged");
+    assert_eq!(seq.cycles, thr.cycles, "cycle accounting diverged");
+}
+
+#[test]
+fn facade_parallelism_knob_reaches_the_functional_executor() {
+    use neural_cache_repro::cache::{NeuralCache, SystemConfig};
+    let model = tiny_cnn(9);
+    let input = random_input(model.input_shape, model.input_quant, 90);
+    let seq = NeuralCache::new(SystemConfig::xeon_e5_2697_v3())
+        .run_functional(&model, &input)
+        .expect("sequential facade run");
+    let thr = NeuralCache::new(SystemConfig::with_parallelism(3))
+        .run_functional(&model, &input)
+        .expect("threaded facade run");
+    assert_eq!(seq.output, thr.output);
+    assert_eq!(seq.cycles, thr.cycles);
 }
 
 #[test]

@@ -1,0 +1,335 @@
+//! Minimal, offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It is a measuring harness, not a statistics engine: each benchmark is
+//! warmed up briefly, timed over a fixed wall-clock window, and reported as
+//! a single mean-time line on stdout (plus derived throughput when one was
+//! declared). There is no sampling distribution, HTML report, or baseline
+//! comparison. The purpose is to keep `cargo bench` runnable and the bench
+//! sources compiling unchanged in an environment with no cargo-registry
+//! access; see the workspace README.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a value,
+/// mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput basis for a benchmark, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the measurement window, recording the
+    /// total elapsed time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Brief warmup so one-time lazy work is off the clock.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure_for {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    full_id: &str,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+    mut routine: F,
+) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        measure_for,
+    };
+    routine(&mut bencher);
+    if bencher.iters_done == 0 {
+        // The closure never called `iter`; nothing to report.
+        println!("{full_id:<50} (no measurement)");
+        return;
+    }
+    let mean_nanos = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / mean_nanos * 953.674),
+        Throughput::Elements(n) => {
+            format!(" ({:.1} Melem/s)", n as f64 / mean_nanos * 1_000.0)
+        }
+    });
+    println!(
+        "{:<50} time: {:>12}{}   [{} iters]",
+        full_id,
+        format_time(mean_nanos),
+        rate.unwrap_or_default(),
+        bencher.iters_done,
+    );
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput basis.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput basis used to derive a rate for subsequent
+    /// benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark named `id` within the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.throughput, self.criterion.measure_for, routine);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.throughput, self.criterion.measure_for, |b| {
+                routine(b, input);
+            });
+        }
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub; reports are printed as each
+    /// benchmark completes).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+    filter: Option<String>,
+    exact: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters by id, as in real criterion,
+        // and `-- <id> --exact` requires the id to match exactly (the form
+        // CI uses to pin one benchmark). Bare flags (e.g. `--bench`, which
+        // cargo appends) are not filters.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args.iter().find(|arg| !arg.starts_with('-')).cloned();
+        let exact = args.iter().any(|arg| arg == "--exact");
+        // Short window: the stub reports a mean, not a distribution, so a
+        // long sampling phase buys nothing.
+        Self {
+            measure_for: Duration::from_millis(300),
+            filter,
+            exact,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measure_for = duration;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match self.filter.as_deref() {
+            None => true,
+            Some(f) if self.exact => id == f,
+            Some(f) => id.contains(f),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        if self.matches(id) {
+            run_one(id, None, self.measure_for, routine);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Collects benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Emits a `main` that runs each benchmark group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8u32, |b, &n| {
+            b.iter(|| black_box(n) * 2);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("cap", 12).to_string(), "cap/12");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn substring_filter_matches_contained_ids() {
+        let c = Criterion {
+            measure_for: Duration::from_millis(1),
+            filter: Some("tiny_cnn".into()),
+            exact: false,
+        };
+        assert!(c.matches("functional/tiny_cnn_end_to_end"));
+        assert!(c.matches("tiny_cnn"));
+        assert!(!c.matches("functional/conv3x3"));
+    }
+
+    #[test]
+    fn exact_filter_requires_full_id_match() {
+        let c = Criterion {
+            measure_for: Duration::from_millis(1),
+            filter: Some("functional/tiny_cnn_end_to_end".into()),
+            exact: true,
+        };
+        assert!(c.matches("functional/tiny_cnn_end_to_end"));
+        assert!(
+            !c.matches("functional/tiny_cnn_end_to_end_threaded"),
+            "--exact must not match by substring"
+        );
+        assert!(!c.matches("tiny_cnn"));
+    }
+
+    #[test]
+    fn exact_without_filter_matches_everything() {
+        let c = Criterion {
+            measure_for: Duration::from_millis(1),
+            filter: None,
+            exact: true,
+        };
+        assert!(c.matches("anything/at_all"));
+    }
+}
