@@ -1,14 +1,17 @@
 //! Emits `BENCH_functional.json`: sequential-vs-threaded wall time of the
-//! functional executor on the Inception v3 proxy workloads, for CI to
-//! upload as a per-PR perf artifact.
+//! functional executor on the Inception v3 proxy workloads, plus the
+//! dense-vs-pruned sparsity section (simulated cycles, wall times, and the
+//! predicted-vs-executed skip cross-check), for CI to upload as a per-PR
+//! perf artifact.
 //!
 //! ```bash
 //! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json
 //! ```
 //!
 //! Exits non-zero if the threaded backend fails to reproduce the
-//! sequential outputs/cycles exactly (the tentpole invariant), so the CI
-//! bench job doubles as a determinism gate.
+//! sequential outputs/cycles exactly, or if `SparsityMode::SkipZeroRows`
+//! diverges from dense output bytes or from the analytical skip fraction,
+//! so the CI bench job doubles as a determinism gate.
 
 use std::process::ExitCode;
 
@@ -29,18 +32,27 @@ fn main() -> ExitCode {
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_functional.json".to_owned());
 
     let comparisons = nc_bench::perf::compare_engines(threads, reps);
-    let json = nc_bench::perf::render_json(&comparisons, threads);
+    let sparsity = nc_bench::perf::compare_sparsity(reps);
+    let json = nc_bench::perf::render_json_full(&comparisons, &sparsity, threads);
     std::fs::write(&out_path, &json).expect("write BENCH_functional.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
 
-    if comparisons
+    let engines_ok = comparisons
         .iter()
-        .all(nc_bench::perf::EngineComparison::verified)
-    {
+        .all(nc_bench::perf::EngineComparison::verified);
+    let sparsity_ok = sparsity
+        .iter()
+        .all(nc_bench::perf::SparsityComparison::verified);
+    if !engines_ok {
+        eprintln!("FAIL: threaded backend diverged from sequential");
+    }
+    if !sparsity_ok {
+        eprintln!("FAIL: round skipping diverged from dense or from the analytical skip fraction");
+    }
+    if engines_ok && sparsity_ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("FAIL: threaded backend diverged from sequential");
         ExitCode::FAILURE
     }
 }

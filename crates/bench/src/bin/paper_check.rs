@@ -6,6 +6,10 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Dense-vs-pruned skip comparisons: computed once, shared by the
+    // sparsity artifact rendering and the cross-check guard below.
+    let sparsity_comps = nc_bench::perf::compare_sparsity(1);
+
     // (artifact name, rendered text, substrings the paper fixes).
     let checks: [(&str, String, &[&str]); 13] = [
         // Table I row: Conv2d_1a_3x3 performs 710,432 convolutions.
@@ -26,7 +30,11 @@ fn main() -> ExitCode {
         ("fig15", nc_bench::fig15(), &["Neural Cache"]),
         // Figure 16: 604 inferences/sec peak throughput.
         ("fig16", nc_bench::fig16(), &["604"]),
-        ("sparsity", nc_bench::sparsity(), &["oracle", "MAC speedup"]),
+        (
+            "sparsity",
+            nc_bench::sparsity_with(&sparsity_comps),
+            &["oracle", "MAC speedup"],
+        ),
         // Section I: 1,146,880 bit-serial ALU slots in 35 MB of LLC.
         ("headlines", nc_bench::headlines(), &["1146880", "28 TOP/s"]),
     ];
@@ -47,8 +55,31 @@ fn main() -> ExitCode {
         }
     }
 
+    // Sparsity guard: the artifact's *executed* skip fraction (the
+    // SkipZeroRows counters of the functional executor) must match the
+    // analytical one computed on the mapper's lane packing, and skipping
+    // must stay bit-identical to dense.
+    for s in &sparsity_comps {
+        let delta = (s.executed_skip_fraction - s.predicted_skip_fraction).abs();
+        if s.verified() {
+            println!(
+                "ok   sparsity/{}: executed {:.4} vs predicted {:.4}",
+                s.name, s.executed_skip_fraction, s.predicted_skip_fraction
+            );
+        } else {
+            println!(
+                "FAIL sparsity/{}: bit_identical={} skip-fraction delta {delta:.4}",
+                s.name, s.bit_identical
+            );
+            failures += 1;
+        }
+    }
+
     if failures == 0 {
-        println!("paper_check: all {} artifacts verified", checks.len());
+        println!(
+            "paper_check: all {} artifacts + sparsity cross-check verified",
+            checks.len()
+        );
         ExitCode::SUCCESS
     } else {
         println!("paper_check: {failures} artifact(s) FAILED");

@@ -400,10 +400,23 @@ pub fn fig16() -> String {
 }
 
 /// Sparsity extension (Section VII future work): weight-sparsity analysis
-/// of Inception v3 and the bit-serial cycle savings it could unlock.
+/// of Inception v3, the bit-serial cycle savings it could unlock, and the
+/// executed dense-vs-pruned comparison of `SparsityMode::SkipZeroRows`
+/// (skip fractions computed on the mapper's real lane packing, so the
+/// analytical and executed numbers agree).
 #[must_use]
 pub fn sparsity() -> String {
+    sparsity_with(&perf::compare_sparsity(1))
+}
+
+/// [`sparsity`] rendered from precomputed dense-vs-pruned comparisons, so
+/// callers that also gate on them (`paper_check`) run the pruned
+/// simulations once.
+#[must_use]
+pub fn sparsity_with(comparisons: &[perf::SparsityComparison]) -> String {
     use nc_dnn::inception::inception_v3_with_weights;
+    use neural_cache::{CostModel as _, DerivedCostModel};
+    let cost = &DerivedCostModel;
     let model = inception_v3_with_weights(1);
     let report = neural_cache::sparsity::analyze(&model);
     let mut out = String::from("Sparsity analysis (paper Section VII future work)\n");
@@ -416,15 +429,32 @@ pub fn sparsity() -> String {
     );
     let _ = writeln!(
         out,
-        "MAC speedup: oracle (per-lane) {:.2}x | SIMD (all-lanes-zero rows) {:.2}x",
-        report.oracle_mac_speedup(),
-        report.simd_mac_speedup()
+        "MAC speedup ({} cost model): oracle (per-lane) {:.2}x | SIMD (all-lanes-zero rows) {:.2}x",
+        cost.name(),
+        report.oracle_mac_speedup(cost),
+        report.simd_mac_speedup(cost)
     );
     let _ = writeln!(
         out,
-        "(synthetic dense weights: pruned/quantized-sparse models raise the SIMD number;\n\
-         see neural_cache::sparsity tests for a pruned-weight demonstration)"
+        "(synthetic dense weights: pruned/quantized-sparse models raise the SIMD number)"
     );
+
+    // Executed dense-vs-pruned comparison: SkipZeroRows on the pruned
+    // workloads, bit-identical to dense by construction.
+    out.push_str("\nSkipZeroRows execution (dense vs pruned workloads):\n");
+    for s in comparisons {
+        let _ = writeln!(
+            out,
+            "{:<24} executed skip {:>5.1}% (predicted {:>5.1}%) | compute cycles {:.2}x | \
+             simulated MAC {:.2}x | bit-identical: {}",
+            s.name,
+            100.0 * s.executed_skip_fraction,
+            100.0 * s.predicted_skip_fraction,
+            s.cycle_speedup(),
+            s.mac_speedup(),
+            s.bit_identical
+        );
+    }
     out
 }
 

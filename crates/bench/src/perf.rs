@@ -1,23 +1,30 @@
 //! Host wall-time measurement of the functional executor under the
-//! Sequential vs Threaded execution engines, emitted as machine-readable
-//! JSON (`BENCH_functional.json`) so CI can track the perf trajectory of
-//! the simulator per PR.
+//! Sequential vs Threaded execution engines **and** the Dense vs
+//! SkipZeroRows sparsity modes, emitted as machine-readable JSON
+//! (`BENCH_functional.json`) so CI can track the perf trajectory of the
+//! simulator per PR.
 //!
 //! The workloads are the functional-executor proxies for the paper's
 //! Inception v3 evaluation: `mini_inception` (one block of every Inception
 //! family — the full 299x299 network is out of reach for a bit-serial
-//! simulation in CI), the Inception stem-slice convolution, and `tiny_cnn`.
-//! Every comparison also *verifies* the tentpole invariant: the threaded
-//! run must be bit-identical to the sequential one with identical cycle
-//! counts.
+//! simulation in CI), the Inception stem-slice convolution, and `tiny_cnn`;
+//! the sparsity section runs `pruned_inception` and the pruned single-conv
+//! cross-check model. Every comparison also *verifies* its invariant: the
+//! threaded run must be bit-identical to the sequential one with identical
+//! cycle counts, and the skipping run must be bit-identical to dense with
+//! its executed skip fraction agreeing with the `sparsity::analyze`
+//! prediction.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use nc_dnn::workload::{mini_inception, random_conv, random_input, single_conv_model, tiny_cnn};
+use nc_dnn::workload::{
+    mini_inception, pruned_conv_model, pruned_inception, random_conv, random_input,
+    single_conv_model, tiny_cnn,
+};
 use nc_dnn::{Model, Padding, QTensor, Shape};
-use neural_cache::functional::{self, FunctionalResult};
-use neural_cache::ExecutionEngine;
+use neural_cache::functional::{self, run_model_configured, FunctionalResult};
+use neural_cache::{time_inference, ExecutionEngine, Phase, SparsityMode, SystemConfig};
 
 /// Sequential-vs-threaded wall-time comparison of one workload.
 #[derive(Debug, Clone)]
@@ -110,10 +117,147 @@ pub fn compare_engines(threads: usize, reps: usize) -> Vec<EngineComparison> {
         .collect()
 }
 
+/// Dense-vs-SkipZeroRows comparison of one pruned workload: host wall
+/// time, simulated cycles, and the predicted-vs-executed skip cross-check.
+#[derive(Debug, Clone)]
+pub struct SparsityComparison {
+    /// Workload name.
+    pub name: String,
+    /// Best-of-`reps` dense functional wall time, milliseconds.
+    pub dense_ms: f64,
+    /// Best-of-`reps` skipping functional wall time, milliseconds.
+    pub sparse_ms: f64,
+    /// Simulated compute cycles of the dense functional run.
+    pub dense_compute_cycles: u64,
+    /// Simulated compute cycles of the skipping functional run.
+    pub sparse_compute_cycles: u64,
+    /// Simulated MAC-phase cycles of the timing model, dense mode.
+    pub timing_mac_cycles_dense: u64,
+    /// Simulated MAC-phase cycles of the timing model, skipping mode.
+    pub timing_mac_cycles_sparse: u64,
+    /// Multiplier-bit rounds scheduled by the skipping run.
+    pub mul_rounds: u64,
+    /// Rounds the skipping run elided.
+    pub skipped_rounds: u64,
+    /// `skipped_rounds / mul_rounds`.
+    pub executed_skip_fraction: f64,
+    /// `sparsity::analyze` prediction on the mapper's lane packing.
+    pub predicted_skip_fraction: f64,
+    /// Whether skipping reproduced the dense bytes and records exactly.
+    pub bit_identical: bool,
+}
+
+impl SparsityComparison {
+    /// Tolerance on the predicted-vs-executed agreement: the analysis
+    /// weights sub-layers by executed rounds (per-window rounds times
+    /// output windows), so both fractions are ratios of the same integer
+    /// counts and must agree to floating-point exactness on any model.
+    pub const SKIP_FRACTION_TOLERANCE: f64 = 1e-9;
+
+    /// Simulated compute-cycle speedup of skipping (functional executor).
+    #[must_use]
+    pub fn cycle_speedup(&self) -> f64 {
+        self.dense_compute_cycles as f64 / self.sparse_compute_cycles as f64
+    }
+
+    /// Simulated MAC-phase speedup of skipping (timing model).
+    #[must_use]
+    pub fn mac_speedup(&self) -> f64 {
+        self.timing_mac_cycles_dense as f64 / self.timing_mac_cycles_sparse as f64
+    }
+
+    /// The acceptance gate: bit identity plus skip-fraction agreement.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.bit_identical
+            && (self.executed_skip_fraction - self.predicted_skip_fraction).abs()
+                <= Self::SKIP_FRACTION_TOLERANCE
+    }
+}
+
+fn pruned_workloads() -> Vec<(String, Model, QTensor)> {
+    let pruned = pruned_inception(2018);
+    let pruned_input = random_input(pruned.input_shape, pruned.input_quant, 7);
+    let single = pruned_conv_model(2018);
+    let single_input = random_input(single.input_shape, single.input_quant, 8);
+    vec![
+        ("pruned_inception".to_owned(), pruned, pruned_input),
+        ("pruned_conv_crosscheck".to_owned(), single, single_input),
+    ]
+}
+
+/// MAC-phase cycles of the deterministic timing model under `mode`.
+fn timing_mac_cycles(model: &Model, mode: SparsityMode) -> u64 {
+    let config = SystemConfig::with_sparsity(mode);
+    let report = time_inference(&config, model);
+    let freq = config.timings.compute_freq_hz;
+    let secs = report.breakdown().get(Phase::Mac).as_secs_f64();
+    (secs * freq).round() as u64
+}
+
+fn time_sparsity_runs(
+    model: &Model,
+    input: &QTensor,
+    mode: SparsityMode,
+    reps: usize,
+) -> (FunctionalResult, f64) {
+    let mut result = None;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = run_model_configured(model, input, ExecutionEngine::Sequential, mode)
+            .expect("functional run");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (result.expect("at least one rep"), best_ms)
+}
+
+/// Runs the pruned workloads densely and with round skipping (best of
+/// `reps` wall times), verifying bit identity and the analytical skip
+/// prediction against the executed counters.
+#[must_use]
+pub fn compare_sparsity(reps: usize) -> Vec<SparsityComparison> {
+    pruned_workloads()
+        .into_iter()
+        .map(|(name, model, input)| {
+            let (dense, dense_ms) = time_sparsity_runs(&model, &input, SparsityMode::Dense, reps);
+            let (sparse, sparse_ms) =
+                time_sparsity_runs(&model, &input, SparsityMode::SkipZeroRows, reps);
+            let predicted = neural_cache::sparsity::analyze(&model).simd_skip();
+            SparsityComparison {
+                name,
+                dense_ms,
+                sparse_ms,
+                dense_compute_cycles: dense.cycles.compute_cycles,
+                sparse_compute_cycles: sparse.cycles.compute_cycles,
+                timing_mac_cycles_dense: timing_mac_cycles(&model, SparsityMode::Dense),
+                timing_mac_cycles_sparse: timing_mac_cycles(&model, SparsityMode::SkipZeroRows),
+                mul_rounds: sparse.cycles.mul_rounds,
+                skipped_rounds: sparse.cycles.skipped_rounds,
+                executed_skip_fraction: sparse.cycles.skip_fraction(),
+                predicted_skip_fraction: predicted,
+                bit_identical: dense.output.data() == sparse.output.data()
+                    && dense.sublayers == sparse.sublayers,
+            }
+        })
+        .collect()
+}
+
 /// Renders the comparisons as the `BENCH_functional.json` document CI
 /// uploads as a workflow artifact.
 #[must_use]
 pub fn render_json(comparisons: &[EngineComparison], threads: usize) -> String {
+    render_json_full(comparisons, &[], threads)
+}
+
+/// [`render_json`] with the dense-vs-pruned sparsity section included.
+#[must_use]
+pub fn render_json_full(
+    comparisons: &[EngineComparison],
+    sparsity: &[SparsityComparison],
+    threads: usize,
+) -> String {
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"BENCH_functional\",");
@@ -130,6 +274,54 @@ pub fn render_json(comparisons: &[EngineComparison], threads: usize) -> String {
         let _ = writeln!(out, "      \"cycles_identical\": {},", c.cycles_identical);
         let _ = writeln!(out, "      \"compute_cycles\": {}", c.compute_cycles);
         let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    if sparsity.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n  \"sparsity\": [\n");
+    for (i, s) in sparsity.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(out, "      \"dense_ms\": {:.3},", s.dense_ms);
+        let _ = writeln!(out, "      \"sparse_ms\": {:.3},", s.sparse_ms);
+        let _ = writeln!(
+            out,
+            "      \"dense_compute_cycles\": {},",
+            s.dense_compute_cycles
+        );
+        let _ = writeln!(
+            out,
+            "      \"sparse_compute_cycles\": {},",
+            s.sparse_compute_cycles
+        );
+        let _ = writeln!(out, "      \"cycle_speedup\": {:.3},", s.cycle_speedup());
+        let _ = writeln!(
+            out,
+            "      \"timing_mac_cycles_dense\": {},",
+            s.timing_mac_cycles_dense
+        );
+        let _ = writeln!(
+            out,
+            "      \"timing_mac_cycles_sparse\": {},",
+            s.timing_mac_cycles_sparse
+        );
+        let _ = writeln!(out, "      \"mac_speedup\": {:.3},", s.mac_speedup());
+        let _ = writeln!(out, "      \"mul_rounds\": {},", s.mul_rounds);
+        let _ = writeln!(out, "      \"skipped_rounds\": {},", s.skipped_rounds);
+        let _ = writeln!(
+            out,
+            "      \"executed_skip_fraction\": {:.6},",
+            s.executed_skip_fraction
+        );
+        let _ = writeln!(
+            out,
+            "      \"predicted_skip_fraction\": {:.6},",
+            s.predicted_skip_fraction
+        );
+        let _ = writeln!(out, "      \"bit_identical\": {}", s.bit_identical);
+        let comma = if i + 1 < sparsity.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]\n}\n");
@@ -156,5 +348,45 @@ mod tests {
         assert!(json.ends_with("}\n"));
         // Exactly one trailing element without a comma.
         assert_eq!(json.matches("},").count(), 2);
+    }
+
+    #[test]
+    fn sparsity_comparisons_verify_and_render() {
+        let comps = compare_sparsity(1);
+        assert_eq!(comps.len(), 2);
+        for s in &comps {
+            assert!(s.verified(), "{} failed verification", s.name);
+            assert!(s.bit_identical, "{} diverged from dense", s.name);
+            assert!(s.skipped_rounds > 0, "{} elided nothing", s.name);
+            assert!(
+                s.cycle_speedup() > 1.2,
+                "{}: compute-cycle speedup {:.2}",
+                s.name,
+                s.cycle_speedup()
+            );
+            assert!(
+                s.mac_speedup() >= 1.3,
+                "{}: simulated MAC speedup {:.2} below the pruned target",
+                s.name,
+                s.mac_speedup()
+            );
+        }
+        for s in &comps {
+            assert!(
+                (s.executed_skip_fraction - s.predicted_skip_fraction).abs() < 1e-12,
+                "{}: predicted-vs-executed must agree exactly (round-weighted analysis)",
+                s.name
+            );
+        }
+
+        let engines = compare_engines(2, 1);
+        let json = render_json_full(&engines, &comps, 2);
+        assert!(json.contains("\"sparsity\": ["));
+        assert!(json.contains("\"pruned_inception\""));
+        assert!(json.contains("\"executed_skip_fraction\""));
+        assert!(json.contains("\"timing_mac_cycles_dense\""));
+        assert!(json.ends_with("}\n"));
+        // The sparsity-free rendering stays backward compatible.
+        assert!(!render_json(&engines, 2).contains("\"sparsity\""));
     }
 }

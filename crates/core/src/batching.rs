@@ -5,7 +5,7 @@
 use nc_geometry::SimTime;
 
 use crate::config::SystemConfig;
-use crate::mapping::{plan_model, LayerPlan};
+use crate::mapping::{plan_model_with, LayerPlan};
 use crate::timing::{time_layer, Phase};
 
 /// One socket's Section IV-E time split: (one-time filter loading,
@@ -57,20 +57,23 @@ pub struct BatchReport {
 #[must_use]
 pub fn time_batch(config: &SystemConfig, model: &nc_dnn::Model, batch: usize) -> BatchReport {
     assert!(batch > 0, "batch must be at least 1");
-    let plans = plan_model(model, &config.geometry);
+    let plans = plan_model_with(model, &config.geometry, config.sparsity);
     let io_capacity = config.geometry.io_way_bytes();
     let (filter_time, per_image_time) = socket_times(config, &plans);
 
-    // Reserved-way overflow: a batch's outputs of a layer exceed the
-    // staging capacity and round-trip through DRAM (the paper's "first
-    // five layers" effect).
+    // Reserved-way overflow: the batch's outputs of a layer exceed the
+    // staging capacity and the **overflow** round-trips through DRAM (the
+    // paper's "first five layers" effect). Only bytes beyond
+    // `io_way_bytes()` move — the resident portion stays in the reserved
+    // way — and a batch of one is no exception when a single image's
+    // output alone overflows.
     let mut dump_time = SimTime::ZERO;
     let mut dumped_layers = Vec::new();
     for plan in &plans {
         let batch_out = plan.output_bytes * batch;
-        if batch > 1 && batch_out > io_capacity {
+        if batch_out > io_capacity {
             dumped_layers.push(plan.name.clone());
-            dump_time += config.dram.round_trip_time(plan.output_bytes) * batch as f64;
+            dump_time += config.dram.round_trip_time(batch_out - io_capacity);
         }
     }
 
@@ -127,7 +130,7 @@ pub fn serve_requests(
     requests: usize,
 ) -> ServingReport {
     assert!(requests > 0, "must serve at least one request");
-    let plans = plan_model(model, &config.geometry);
+    let plans = plan_model_with(model, &config.geometry, config.sparsity);
     let (filter_time, per_image_time) = socket_times(config, &plans);
 
     let sockets = config.sockets.max(1);
@@ -258,6 +261,58 @@ mod tests {
         let r = serve_requests(&config(), &model, 7);
         assert_eq!(r.per_socket, vec![4, 3]);
         assert_eq!(r.requests, 7);
+    }
+
+    #[test]
+    fn dump_accounts_only_the_overflow_beyond_the_reserved_way() {
+        // Regression: the old model round-tripped the *full* output bytes
+        // of every dumped layer per image. Only bytes beyond io_way_bytes()
+        // actually move.
+        let config = config();
+        let model = inception_v3();
+        let batch = 16;
+        let r = time_batch(&config, &model, batch);
+        let io = config.geometry.io_way_bytes();
+        let plans = crate::mapping::plan_model(&model, &config.geometry);
+        let mut expected = SimTime::ZERO;
+        for plan in &plans {
+            let batch_out = plan.output_bytes * batch;
+            if batch_out > io {
+                expected += config.dram.round_trip_time(batch_out - io);
+            }
+        }
+        assert!((r.dump_time.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-15);
+        // Strictly less than the old full-output accounting.
+        let mut old_model = SimTime::ZERO;
+        for plan in &plans {
+            if plan.output_bytes * batch > io {
+                old_model += config.dram.round_trip_time(plan.output_bytes) * batch as f64;
+            }
+        }
+        assert!(
+            r.dump_time < old_model,
+            "overflow-only accounting is cheaper"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_dumps_an_oversized_output() {
+        // Regression: a single image whose layer output alone overflows the
+        // reserved way must round-trip the overflow even at batch 1.
+        use nc_dnn::workload::{random_conv, single_conv_model};
+        use nc_dnn::{Padding, Shape};
+        let config = config();
+        let io = config.geometry.io_way_bytes();
+        // 80x80x300 output = 1.92 MB > the 1.75 MB reserved way.
+        let conv = random_conv("big", (1, 1), 4, 300, 1, Padding::Valid, true, 3);
+        let model = single_conv_model(conv, Shape::new(80, 80, 4));
+        let out_bytes = 80 * 80 * 300;
+        assert!(out_bytes > io, "test premise: output overflows the way");
+        let r = time_batch(&config, &model, 1);
+        assert_eq!(r.dumped_layers, vec!["big".to_owned()]);
+        let expected = config.dram.round_trip_time(out_bytes - io);
+        assert!((r.dump_time.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-15);
+        assert!(r.dump_time > SimTime::ZERO);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use nc_sram::{ArrayEnergy, ArrayTimings};
 
 use crate::cost::CostModelKind;
 use crate::engine::ExecutionEngine;
+use crate::sparsity::SparsityMode;
 
 /// Full configuration of a Neural Cache system.
 ///
@@ -40,6 +41,11 @@ pub struct SystemConfig {
     /// or a threaded backend. Both produce bit-identical results; this knob
     /// only changes host wall-clock time, never simulated time or outputs.
     pub parallelism: ExecutionEngine,
+    /// Weight-sparsity execution mode: [`SparsityMode::SkipZeroRows`]
+    /// elides all-lanes-zero multiplier-bit rounds in the bit-serial MACs.
+    /// Outputs stay bit-identical to [`SparsityMode::Dense`]; simulated MAC
+    /// cycles shrink with the model's weight sparsity.
+    pub sparsity: SparsityMode,
 }
 
 impl SystemConfig {
@@ -56,6 +62,7 @@ impl SystemConfig {
             cost: CostModelKind::Paper,
             sockets: 2,
             parallelism: ExecutionEngine::Sequential,
+            sparsity: SparsityMode::Dense,
         }
     }
 
@@ -78,6 +85,15 @@ impl SystemConfig {
     pub fn with_parallelism(threads: usize) -> Self {
         SystemConfig {
             parallelism: ExecutionEngine::from_threads(threads),
+            ..SystemConfig::xeon_e5_2697_v3()
+        }
+    }
+
+    /// Same system with an explicit weight-sparsity execution mode.
+    #[must_use]
+    pub fn with_sparsity(mode: SparsityMode) -> Self {
+        SystemConfig {
+            sparsity: mode,
             ..SystemConfig::xeon_e5_2697_v3()
         }
     }
@@ -110,5 +126,9 @@ mod tests {
             SystemConfig::with_parallelism(1).parallelism,
             ExecutionEngine::Sequential
         );
+        assert_eq!(c.sparsity, SparsityMode::Dense, "dense by default");
+        let sparse = SystemConfig::with_sparsity(SparsityMode::SkipZeroRows);
+        assert_eq!(sparse.sparsity, SparsityMode::SkipZeroRows);
+        assert_eq!(sparse.geometry, c.geometry);
     }
 }

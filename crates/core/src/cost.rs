@@ -32,6 +32,22 @@ pub trait CostModel: fmt::Debug + Send + Sync {
     /// (one filter/input byte pair per lane).
     fn mac_cycles(&self) -> u64;
 
+    /// Cycles of one multiplier-bit round of the bit-serial multiply (tag
+    /// load + `n` predicated adds + carry commit = `n + 2` at `n = 8`).
+    /// This is the unit of work the [`crate::sparsity`] round-skipping
+    /// analysis and `SparsityMode::SkipZeroRows` execution elide.
+    fn mul_round_cycles(&self) -> u64;
+
+    /// Skip-aware MAC cost: the [`CostModel::mac_cycles`] of one 8-bit MAC
+    /// with `skip_fraction` of its [`DATA_BITS`] multiplier-bit rounds
+    /// elided. Elided rounds cost nothing — the multiplier rows are
+    /// stationary filter bit-slices, so the control FSM knows the all-zero
+    /// rows from filter-load time and never issues them.
+    fn mac_cycles_sparse(&self, skip_fraction: f64) -> f64 {
+        let saved = skip_fraction * DATA_BITS as f64 * self.mul_round_cycles() as f64;
+        (self.mac_cycles() as f64 - saved).max(0.0)
+    }
+
     /// Cycles of one step of the in-array reduction tree over
     /// [`REDUCE_BITS`]-bit segments (lane move + add).
     fn reduction_step_cycles(&self) -> u64;
@@ -95,6 +111,13 @@ impl PaperCostModel {
 impl CostModel for PaperCostModel {
     fn mac_cycles(&self) -> u64 {
         236 // Section VI-A worked example
+    }
+
+    fn mul_round_cycles(&self) -> u64 {
+        // The Figure 6 algorithm spends n + 2 cycles per multiplier bit;
+        // the remainder of n^2 + 5n - 2 (3n - 2) is round-independent
+        // initialization.
+        DATA_BITS as u64 + 2
     }
 
     fn reduction_step_cycles(&self) -> u64 {
@@ -168,6 +191,13 @@ impl CostModel for DerivedCostModel {
         // mul(8x8 -> 16): 96, accumulate into 24-bit partial: 24,
         // S2 correction add into 16-bit: 16.
         96 + 24 + 16
+    }
+
+    fn mul_round_cycles(&self) -> u64 {
+        // One `ComputeArray::mul` round: op_load_tag (1) + n op_full_add
+        // (8) + op_write_carry (1); kept in sync with nc-sram by the
+        // `derived_mul_round_matches_skip_accounting` test.
+        DATA_BITS as u64 + 2
     }
 
     fn reduction_step_cycles(&self) -> u64 {
@@ -278,6 +308,20 @@ mod tests {
         assert_eq!(CostModelKind::Paper.model().name(), "paper");
         assert_eq!(CostModelKind::Derived.model().name(), "derived");
         assert_eq!(CostModelKind::default(), CostModelKind::Paper);
+    }
+
+    #[test]
+    fn sparse_mac_cost_interpolates_between_full_and_skipless() {
+        for model in [&PaperCostModel as &dyn CostModel, &DerivedCostModel] {
+            let dense = model.mac_cycles() as f64;
+            assert!((model.mac_cycles_sparse(0.0) - dense).abs() < 1e-9);
+            let full_skip = model.mac_cycles_sparse(1.0);
+            let expected = dense - (DATA_BITS as u64 * model.mul_round_cycles()) as f64;
+            assert!((full_skip - expected).abs() < 1e-9, "{}", model.name());
+            assert!(full_skip > 0.0, "non-round costs remain");
+            let half = model.mac_cycles_sparse(0.5);
+            assert!(full_skip < half && half < dense);
+        }
     }
 
     #[test]

@@ -52,6 +52,8 @@ use nc_sram::ops::copy_lanes_between;
 use nc_sram::{ArrayPool, ComputeArray, CycleStats, Operand, SramError, COLS};
 
 use crate::engine::ExecutionEngine;
+use crate::mapping::{chunk_filter, chunk_window_bytes, conv_lane_geometry};
+use crate::sparsity::SparsityMode;
 
 /// The dedicated all-zero row every executor array reserves (mapping layer
 /// convention; see [`ComputeArray::set_zero_row`]).
@@ -124,8 +126,27 @@ pub fn run_model(model: &Model, input: &QTensor) -> Result<FunctionalResult> {
 }
 
 /// Runs the whole model bit-accurately on simulated compute arrays with an
-/// explicit execution engine. Outputs, sub-layer records and cycle counts
-/// are identical across engines.
+/// explicit execution engine (dense sparsity mode). Outputs, sub-layer
+/// records and cycle counts are identical across engines.
+///
+/// # Errors
+///
+/// Fails if any convolution sub-layer lacks weights.
+pub fn run_model_with(
+    model: &Model,
+    input: &QTensor,
+    engine: ExecutionEngine,
+) -> Result<FunctionalResult> {
+    run_model_configured(model, input, engine, SparsityMode::Dense)
+}
+
+/// Runs the whole model bit-accurately with an explicit execution engine
+/// **and** sparsity mode. [`SparsityMode::SkipZeroRows`] elides
+/// all-lanes-zero weight-bit rounds in the MACs: outputs and sub-layer
+/// records are **bit-identical** to dense (the proptest/bench gates enforce
+/// it, like the engine-equivalence gate), while
+/// [`CycleStats::skipped_rounds`] and [`CycleStats::skipped_cycles`] report
+/// the elided work.
 ///
 /// # Errors
 ///
@@ -134,13 +155,14 @@ pub fn run_model(model: &Model, input: &QTensor) -> Result<FunctionalResult> {
 /// # Panics
 ///
 /// Panics if the input shape does not match the model's input shape.
-pub fn run_model_with(
+pub fn run_model_configured(
     model: &Model,
     input: &QTensor,
     engine: ExecutionEngine,
+    mode: SparsityMode,
 ) -> Result<FunctionalResult> {
     assert_eq!(input.shape(), model.input_shape, "input shape mismatch");
-    let mut exec = Exec::new(engine)?;
+    let mut exec = Exec::new(engine, mode)?;
     let mut cur = input.clone();
     let mut sublayers = Vec::new();
     for layer in &model.layers {
@@ -157,6 +179,7 @@ pub fn run_model_with(
 struct Exec {
     cycles: CycleStats,
     engine: ExecutionEngine,
+    mode: SparsityMode,
     /// Shared recycling pool: arrays persist across layers and shard jobs
     /// instead of being reallocated per run (in hardware they are the same
     /// physical SRAM throughout).
@@ -185,10 +208,11 @@ impl AccChunk {
 }
 
 impl Exec {
-    fn new(engine: ExecutionEngine) -> Result<Self> {
+    fn new(engine: ExecutionEngine, mode: SparsityMode) -> Result<Self> {
         Ok(Exec {
             cycles: CycleStats::new(),
             engine,
+            mode,
             pool: ArrayPool::with_zero_row(ZERO_ROW)?,
         })
     }
@@ -375,51 +399,30 @@ impl Exec {
         let pad_y = pad_before(in_shape.h, spec.r, spec.stride, spec.padding) as isize;
         let pad_x = pad_before(in_shape.w, spec.s, spec.stride, spec.padding) as isize;
 
-        // Lane geometry (Section IV-A packing/splitting, as planned by the
-        // mapper).
-        let window = spec.window();
-        let (packing, split) = if window == 1 {
-            (crate::mapping::PACK_FACTOR.min(spec.c), 1)
-        } else if window > crate::mapping::SPLIT_THRESHOLD {
-            (1, window.div_ceil(crate::mapping::SPLIT_THRESHOLD))
-        } else {
-            (1, 1)
-        };
-        let eff_window = if packing > 1 {
-            packing
-        } else {
-            window.div_ceil(split)
-        };
-        let eff_channels = if packing > 1 {
-            spec.c.div_ceil(packing)
-        } else {
-            spec.c * split
-        };
-        let lanes_per_filter = eff_channels.next_power_of_two();
+        // Lane geometry (Section IV-A packing/splitting) — the exact same
+        // computation the mapper plans with, so skip-fraction analysis on
+        // the mapping describes this executor's behavior precisely.
+        let geom = conv_lane_geometry(spec);
 
         // Per-filter static data: lane-chunked weight bytes, code sums and
         // the per-channel constant C0.
-        let filter_lanes: Vec<Vec<Vec<u8>>> = (0..spec.m)
-            .map(|m| chunk_filter(conv, m, packing, split, eff_window))
-            .collect();
+        let filter_lanes: Vec<Vec<Vec<u8>>> =
+            (0..spec.m).map(|m| chunk_filter(conv, m, &geom)).collect();
         let c0: Vec<i64> = (0..spec.m)
             .map(|m| {
                 -zp_a * conv.filter_code_sum(m) + n_taps * (zp_w as i64) * zp_a + conv.bias_of(m)
             })
             .collect();
 
-        let group_span = lanes_per_filter.min(COLS);
-        let arrays_per_filter = lanes_per_filter.div_ceil(COLS);
-        let groups_per_array = if arrays_per_filter == 1 {
-            (COLS / lanes_per_filter).min(spec.m).max(1)
-        } else {
-            1
-        };
+        let group_span = geom.group_span;
+        let arrays_per_filter = geom.arrays_per_filter;
+        let groups_per_array = geom.groups_per_array(spec.m);
 
         // Passes 1+2, sharded per output window: each job MACs and reduces
         // every filter group against its window, then assembles the
         // accumulators, on arrays drawn from the shared pool.
         let engine = self.engine;
+        let mode = self.mode;
         let pool = &self.pool;
         let positions = out_shape.h * out_shape.w;
         let filter_lanes = &filter_lanes;
@@ -429,7 +432,7 @@ impl Exec {
             let mut cycles = CycleStats::new();
             let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
             gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
-            let input_lanes = chunk_bytes(&window_bytes, packing, split, eff_window, spec.c);
+            let input_lanes = chunk_window_bytes(&window_bytes, spec.c, &geom);
 
             let mut vals = vec![0i64; spec.m];
             let mut m = 0;
@@ -440,9 +443,10 @@ impl Exec {
                     &mut cycles,
                     &filter_lanes[m..m + group_count],
                     &input_lanes,
-                    eff_window,
+                    geom.eff_window,
                     group_span,
                     arrays_per_filter,
+                    mode,
                 )?;
                 for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
                     // Pass 2: ACC assembly + fused ReLU, in-cache.
@@ -621,7 +625,10 @@ impl Exec {
 // ----------------------------------------------------------------------
 
 /// One MAC+reduce run: `groups` filters (or one filter spanning
-/// `arrays_per_filter` arrays) against one input window.
+/// `arrays_per_filter` arrays) against one input window. Under
+/// [`SparsityMode::SkipZeroRows`] the weight operand is the multiplier and
+/// all-lanes-zero weight-bit rounds are elided (bit-identical products).
+#[allow(clippy::too_many_arguments)]
 fn mac_reduce_run(
     pool: &ArrayPool,
     cycles: &mut CycleStats,
@@ -630,6 +637,7 @@ fn mac_reduce_run(
     eff_window: usize,
     group_span: usize,
     arrays_per_filter: usize,
+    mode: SparsityMode,
 ) -> Result<(Vec<u64>, Vec<u64>)> {
     // Row layout of the pass-1 array (all regions disjoint, 202 rows).
     let filter_byte = Operand::new(0, 8)?;
@@ -668,8 +676,16 @@ fn mac_reduce_run(
                     arr.poke_lane(g * group_span + l, input_byte, u64::from(byte));
                 }
             }
-            // S1 += w * x ; S2 += x — all lanes in parallel.
-            *cycles += arr.mul(filter_byte, input_byte, scratch16)?;
+            // S1 += w * x ; S2 += x — all lanes in parallel. The stationary
+            // filter byte is the multiplier, so its bit-slice rows are what
+            // SkipZeroRows elides (8x8 multiply cost is symmetric in the
+            // operand order, and the product is identical).
+            *cycles += match mode {
+                SparsityMode::Dense => arr.mul(input_byte, filter_byte, scratch16)?,
+                SparsityMode::SkipZeroRows => {
+                    arr.mul_skip_zero_rows(input_byte, filter_byte, scratch16)?
+                }
+            };
             *cycles += arr.add_assign(partial, scratch16)?;
             *cycles += arr.add_assign(s2sum, input_byte)?;
         }
@@ -900,29 +916,8 @@ fn pool_avg_chunk(
 }
 
 // ----------------------------------------------------------------------
-// Lane chunking helpers (Section IV-A layout algebra)
+// Window gathering (lane chunking lives in `crate::mapping`)
 // ----------------------------------------------------------------------
-
-/// Chunks filter `m`'s bytes into per-lane byte vectors of `eff_window`
-/// bytes (packing compresses channels; splitting spreads large windows).
-fn chunk_filter(
-    conv: &Conv2d,
-    m: usize,
-    packing: usize,
-    split: usize,
-    eff_window: usize,
-) -> Vec<Vec<u8>> {
-    let spec = &conv.spec;
-    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(spec.window()); spec.c];
-    for r in 0..spec.r {
-        for s in 0..spec.s {
-            for (c, bytes) in per_channel.iter_mut().enumerate() {
-                bytes.push(conv.weight(m, r, s, c));
-            }
-        }
-    }
-    chunk_channel_major(&per_channel, packing, split, eff_window)
-}
 
 /// Gathers one padded input window in the same (r, s, c) order as the
 /// reference executor, then regroups it channel-major for lane chunking.
@@ -946,59 +941,6 @@ fn gather_window(
             }
         }
     }
-}
-
-/// Regroups an `(r, s, c)`-ordered window into per-lane chunks matching
-/// [`chunk_filter`].
-fn chunk_bytes(
-    window: &[u8],
-    packing: usize,
-    split: usize,
-    eff_window: usize,
-    channels: usize,
-) -> Vec<Vec<u8>> {
-    let taps = window.len() / channels;
-    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(taps); channels];
-    for (i, &b) in window.iter().enumerate() {
-        per_channel[i % channels].push(b);
-    }
-    chunk_channel_major(&per_channel, packing, split, eff_window)
-}
-
-/// The shared chunking rule: packing places `packing` consecutive channels'
-/// single bytes on one lane; splitting spreads one channel's window across
-/// `split` lanes of `eff_window` bytes (zero-padded).
-fn chunk_channel_major(
-    per_channel: &[Vec<u8>],
-    packing: usize,
-    split: usize,
-    eff_window: usize,
-) -> Vec<Vec<u8>> {
-    let mut lanes = Vec::new();
-    if packing > 1 {
-        for group in per_channel.chunks(packing) {
-            let mut lane = Vec::with_capacity(eff_window);
-            for ch in group {
-                lane.push(ch[0]);
-            }
-            lane.resize(eff_window, 0);
-            lanes.push(lane);
-        }
-    } else {
-        for ch in per_channel {
-            for piece in 0..split {
-                let mut lane: Vec<u8> = ch
-                    .iter()
-                    .copied()
-                    .skip(piece * eff_window)
-                    .take(eff_window)
-                    .collect();
-                lane.resize(eff_window, 0);
-                lanes.push(lane);
-            }
-        }
-    }
-    lanes
 }
 
 fn clamp_to_bits(v: i64, bits: usize) -> i64 {
@@ -1058,6 +1000,43 @@ mod tests {
         assert_eq!(threaded.output.data(), ours.output.data());
         assert_eq!(threaded.sublayers, ours.sublayers);
         assert_eq!(threaded.cycles, ours.cycles);
+
+        // Round skipping must be bit-identical to dense on every workload
+        // (the sparsity analogue of the engine gate): same outputs and
+        // records, never more compute cycles, and the skipped/saved
+        // counters reconcile the difference exactly.
+        let skipping = run_model_configured(
+            model,
+            &input,
+            ExecutionEngine::Sequential,
+            SparsityMode::SkipZeroRows,
+        )
+        .expect("skip-mode functional run");
+        assert_eq!(
+            skipping.output.data(),
+            ours.output.data(),
+            "SkipZeroRows output differs from Dense"
+        );
+        assert_eq!(skipping.sublayers, ours.sublayers);
+        assert_eq!(skipping.cycles.mul_rounds, ours.cycles.mul_rounds);
+        assert_eq!(ours.cycles.skipped_rounds, 0, "dense never skips");
+        assert_eq!(
+            skipping.cycles.compute_cycles + skipping.cycles.skipped_cycles,
+            ours.cycles.compute_cycles,
+            "saved cycles must reconcile dense and skipping runs"
+        );
+
+        // Both knobs compose: threaded + skipping matches sequential +
+        // skipping, counters included.
+        let both = run_model_configured(
+            model,
+            &input,
+            ExecutionEngine::from_threads(4),
+            SparsityMode::SkipZeroRows,
+        )
+        .expect("threaded skip-mode run");
+        assert_eq!(both.output.data(), skipping.output.data());
+        assert_eq!(both.cycles, skipping.cycles);
     }
 
     #[test]
@@ -1118,6 +1097,37 @@ mod tests {
     #[test]
     fn tiny_cnn_end_to_end_bit_exact() {
         check_model(&tiny_cnn(5), 50);
+    }
+
+    #[test]
+    fn pruned_models_skip_and_stay_bit_exact() {
+        check_model(&nc_dnn::workload::pruned_conv_model(4), 44);
+    }
+
+    #[test]
+    fn executed_skips_match_the_analytical_prediction() {
+        // The predicted-vs-executed cross-check: on a single-conv model the
+        // skip fraction measured by sparsity::analyze on the mapper's lane
+        // packing must equal the executed counter ratio *exactly*.
+        for seed in [1u64, 8, 21] {
+            let model = nc_dnn::workload::pruned_conv_model(seed);
+            let input = random_input(model.input_shape, model.input_quant, seed + 100);
+            let run = run_model_configured(
+                &model,
+                &input,
+                ExecutionEngine::Sequential,
+                SparsityMode::SkipZeroRows,
+            )
+            .expect("skip-mode run");
+            let predicted = crate::sparsity::analyze(&model).simd_skip();
+            let executed = run.cycles.skip_fraction();
+            assert!(
+                (executed - predicted).abs() < 1e-12,
+                "seed {seed}: executed {executed} vs predicted {predicted}"
+            );
+            assert!(run.cycles.skipped_rounds > 0, "pruned model must skip");
+            assert!(predicted >= 0.75, "keep_bits = 2 skips the top 6 rounds");
+        }
     }
 
     #[test]

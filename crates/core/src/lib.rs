@@ -53,7 +53,10 @@ pub use config::SystemConfig;
 pub use cost::{CostModel, CostModelKind, DerivedCostModel, PaperCostModel};
 pub use energy::{energy_of, EnergyReport};
 pub use engine::ExecutionEngine;
-pub use mapping::{plan_model, ConvMapping, LayerPlan, PoolMapping, UnitPlan};
+pub use mapping::{
+    plan_model, plan_model_with, ConvMapping, LaneGeometry, LayerPlan, PoolMapping, UnitPlan,
+};
+pub use sparsity::SparsityMode;
 pub use timing::{time_inference, InferenceReport, LayerTiming, Phase, PhaseBreakdown};
 
 /// The Neural Cache system: a configured accelerator exposing the timing,
@@ -76,10 +79,12 @@ impl NeuralCache {
         &self.config
     }
 
-    /// Plans the data layout of every layer (Section IV-A/IV-B).
+    /// Plans the data layout of every layer (Section IV-A/IV-B) under the
+    /// configured sparsity mode, so the returned mappings carry the same
+    /// skip fractions the timing entry points use.
     #[must_use]
     pub fn plan(&self, model: &nc_dnn::Model) -> Vec<LayerPlan> {
-        plan_model(model, &self.config.geometry)
+        plan_model_with(model, &self.config.geometry, self.config.sparsity)
     }
 
     /// Times one inference (batch size 1).
@@ -119,7 +124,9 @@ impl NeuralCache {
     /// Runs a model bit-accurately on simulated compute arrays and returns
     /// the output tensor (must match the [`nc_dnn::reference`] executor).
     /// Shard jobs run on the engine selected by
-    /// [`SystemConfig::parallelism`]; the result is identical either way.
+    /// [`SystemConfig::parallelism`] and rounds are elided per
+    /// [`SystemConfig::sparsity`]; the output is identical under every
+    /// combination.
     ///
     /// # Errors
     ///
@@ -130,7 +137,12 @@ impl NeuralCache {
         model: &nc_dnn::Model,
         input: &nc_dnn::QTensor,
     ) -> Result<functional::FunctionalResult, functional::FunctionalError> {
-        functional::run_model_with(model, input, self.config.parallelism)
+        functional::run_model_configured(
+            model,
+            input,
+            self.config.parallelism,
+            self.config.sparsity,
+        )
     }
 }
 

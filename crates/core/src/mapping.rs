@@ -9,11 +9,12 @@
 //! example (Conv2D_2b: ~32K parallel convolutions, 43 serial rounds, 99.7%
 //! utilization) is reproduced by tests.
 
-use nc_dnn::{Layer, Model, PoolKind, Shape};
+use nc_dnn::{Conv2d, ConvSpec, Layer, Model, PoolKind, Shape};
 use nc_geometry::CacheGeometry;
-use nc_sram::ROWS;
+use nc_sram::{COLS, ROWS};
 
 use crate::cost::{DATA_BITS, PARTIAL_BITS, REDUCE_BITS};
+use crate::sparsity::SparsityMode;
 
 /// Filter-window bytes above which filters are split across bit lines
 /// (Section IV-A: "filters are split across bitlines when their size
@@ -27,6 +28,152 @@ pub const PACK_FACTOR: usize = 16;
 /// Largest input-window bytes buffered per bit line; larger windows (the
 /// global 8x8 average pool) stream in chunks.
 pub const MAX_INPUT_BYTES_PER_LANE: usize = 16;
+
+/// The Section IV-A lane layout of one convolution sub-layer: how filter
+/// bytes are packed/split onto bit lines and how filters group within one
+/// 8KB array. This is the **single source of truth** shared by the planner,
+/// the functional executor, and the sparsity analysis — skip fractions are
+/// computed on exactly the packing the executor realizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGeometry {
+    /// Channels packed per bit line (1 unless a 1x1 layer).
+    pub packing: usize,
+    /// Filter split factor (1 unless `R*S > 9`).
+    pub split: usize,
+    /// Filter bytes per bit line after packing/splitting (`R'*S'`).
+    pub eff_window: usize,
+    /// Effective channels before power-of-two round-up (`C'`).
+    pub eff_channels: usize,
+    /// Bit lines per filter: effective channels rounded to a power of two.
+    pub lanes_per_filter: usize,
+    /// Lanes one filter occupies within a single array.
+    pub group_span: usize,
+    /// Arrays one filter spans (1 or 2 in Inception v3).
+    pub arrays_per_filter: usize,
+    /// Filter instances per 8KB array (0 when a filter spans arrays).
+    pub filters_per_array: usize,
+}
+
+impl LaneGeometry {
+    /// Filter groups co-resident in one array during a MAC pass, given the
+    /// sub-layer's `m` output channels (the executor packs at most this
+    /// many filters side by side; filters spanning arrays run alone).
+    #[must_use]
+    pub fn groups_per_array(&self, m: usize) -> usize {
+        if self.arrays_per_filter == 1 {
+            (COLS / self.lanes_per_filter).min(m).max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Computes the lane layout of a convolution spec (packing for 1x1 layers,
+/// splitting for windows above [`SPLIT_THRESHOLD`], power-of-two channel
+/// round-up, array spanning).
+#[must_use]
+pub fn conv_lane_geometry(spec: &ConvSpec) -> LaneGeometry {
+    let window = spec.window();
+    let c = spec.c;
+    let (packing, split) = if window == 1 {
+        (PACK_FACTOR.min(c), 1)
+    } else if window > SPLIT_THRESHOLD {
+        (1, window.div_ceil(SPLIT_THRESHOLD))
+    } else {
+        (1, 1)
+    };
+    let eff_window = if packing > 1 {
+        packing
+    } else {
+        window.div_ceil(split)
+    };
+    let eff_channels = if packing > 1 {
+        c.div_ceil(packing)
+    } else {
+        c * split
+    };
+    let lanes_per_filter = eff_channels.next_power_of_two();
+    let (arrays_per_filter, filters_per_array) = if lanes_per_filter <= COLS {
+        (1, COLS / lanes_per_filter)
+    } else {
+        (lanes_per_filter.div_ceil(COLS), 0)
+    };
+    LaneGeometry {
+        packing,
+        split,
+        eff_window,
+        eff_channels,
+        lanes_per_filter,
+        group_span: lanes_per_filter.min(COLS),
+        arrays_per_filter,
+        filters_per_array,
+    }
+}
+
+/// Chunks filter `m`'s bytes into per-lane byte vectors of `eff_window`
+/// bytes under `geom`'s layout (packing compresses channels; splitting
+/// spreads large windows). This is the exact byte placement the functional
+/// executor streams tap-by-tap.
+///
+/// # Panics
+///
+/// Panics if the layer is shape-only.
+#[must_use]
+pub fn chunk_filter(conv: &Conv2d, m: usize, geom: &LaneGeometry) -> Vec<Vec<u8>> {
+    let spec = &conv.spec;
+    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(spec.window()); spec.c];
+    for r in 0..spec.r {
+        for s in 0..spec.s {
+            for (c, bytes) in per_channel.iter_mut().enumerate() {
+                bytes.push(conv.weight(m, r, s, c));
+            }
+        }
+    }
+    chunk_channel_major(&per_channel, geom)
+}
+
+/// Regroups an `(r, s, c)`-ordered input window into per-lane chunks
+/// matching [`chunk_filter`].
+#[must_use]
+pub fn chunk_window_bytes(window: &[u8], channels: usize, geom: &LaneGeometry) -> Vec<Vec<u8>> {
+    let taps = window.len() / channels;
+    let mut per_channel: Vec<Vec<u8>> = vec![Vec::with_capacity(taps); channels];
+    for (i, &b) in window.iter().enumerate() {
+        per_channel[i % channels].push(b);
+    }
+    chunk_channel_major(&per_channel, geom)
+}
+
+/// The shared chunking rule: packing places `packing` consecutive channels'
+/// single bytes on one lane; splitting spreads one channel's window across
+/// `split` lanes of `eff_window` bytes (zero-padded).
+fn chunk_channel_major(per_channel: &[Vec<u8>], geom: &LaneGeometry) -> Vec<Vec<u8>> {
+    let mut lanes = Vec::new();
+    if geom.packing > 1 {
+        for group in per_channel.chunks(geom.packing) {
+            let mut lane = Vec::with_capacity(geom.eff_window);
+            for ch in group {
+                lane.push(ch[0]);
+            }
+            lane.resize(geom.eff_window, 0);
+            lanes.push(lane);
+        }
+    } else {
+        for ch in per_channel {
+            for piece in 0..geom.split {
+                let mut lane: Vec<u8> = ch
+                    .iter()
+                    .copied()
+                    .skip(piece * geom.eff_window)
+                    .take(geom.eff_window)
+                    .collect();
+                lane.resize(geom.eff_window, 0);
+                lanes.push(lane);
+            }
+        }
+    }
+    lanes
+}
 
 /// Word-line budget of one lane under the Figure 10 layout, extended with
 /// the zero-point-correction running sum (`S2`) this reproduction carries.
@@ -108,6 +255,11 @@ pub struct ConvMapping {
     /// Fraction of each input window that must be freshly streamed per
     /// round (stride reuse, Section IV-A).
     pub fresh_input_fraction: f64,
+    /// Fraction of multiplier-bit rounds elided under
+    /// [`SparsityMode::SkipZeroRows`], computed from the sub-layer's real
+    /// weights on this mapping's lane packing (0 when planning densely or
+    /// without weights).
+    pub simd_skip_fraction: f64,
     /// Word-line budget of one lane.
     pub rows: RowBudget,
 }
@@ -235,32 +387,55 @@ pub struct LayerPlan {
 /// cannot happen for 8-bit layers within the supported shapes.
 #[must_use]
 pub fn plan_model(model: &Model, geometry: &CacheGeometry) -> Vec<LayerPlan> {
+    plan_model_with(model, geometry, SparsityMode::Dense)
+}
+
+/// Plans a whole model under an explicit [`SparsityMode`]: under
+/// [`SparsityMode::SkipZeroRows`], every weighted convolution mapping
+/// carries the skip fraction measured on its actual lane packing.
+///
+/// # Panics
+///
+/// Panics if any sub-layer cannot be mapped (row budget violation).
+#[must_use]
+pub fn plan_model_with(
+    model: &Model,
+    geometry: &CacheGeometry,
+    mode: SparsityMode,
+) -> Vec<LayerPlan> {
     model
         .layers
         .iter()
         .zip(model.layer_inputs())
-        .map(|(layer, input)| plan_layer(layer, input, geometry))
+        .map(|(layer, input)| plan_layer_with(layer, input, geometry, mode))
         .collect()
 }
 
-/// Plans one top-level layer.
+/// Plans one top-level layer (densely).
 #[must_use]
 pub fn plan_layer(layer: &Layer, input: Shape, geometry: &CacheGeometry) -> LayerPlan {
+    plan_layer_with(layer, input, geometry, SparsityMode::Dense)
+}
+
+/// Plans one top-level layer under an explicit [`SparsityMode`].
+#[must_use]
+pub fn plan_layer_with(
+    layer: &Layer,
+    input: Shape,
+    geometry: &CacheGeometry,
+    mode: SparsityMode,
+) -> LayerPlan {
     let mut units = Vec::new();
     let mut filter_bytes = 0;
     match layer {
         Layer::Conv(conv) => {
             filter_bytes += conv.spec.weight_len();
             units.push(UnitPlan::Conv(plan_conv_unit(
-                &conv.spec.name,
-                conv.spec.r,
-                conv.spec.s,
-                conv.spec.c,
-                conv.spec.m,
-                conv.spec.stride,
+                conv,
                 input,
                 conv.spec.out_shape(input),
                 geometry,
+                mode,
             )));
         }
         Layer::Pool(pool) => {
@@ -283,15 +458,7 @@ pub fn plan_layer(layer: &Layer, input: Shape, geometry: &CacheGeometry) -> Laye
                             filter_bytes += conv.spec.weight_len();
                             let out = conv.spec.out_shape(cur);
                             units.push(UnitPlan::Conv(plan_conv_unit(
-                                &conv.spec.name,
-                                conv.spec.r,
-                                conv.spec.s,
-                                conv.spec.c,
-                                conv.spec.m,
-                                conv.spec.stride,
-                                cur,
-                                out,
-                                geometry,
+                                conv, cur, out, geometry, mode,
                             )));
                             cur = out;
                         }
@@ -312,15 +479,11 @@ pub fn plan_layer(layer: &Layer, input: Shape, geometry: &CacheGeometry) -> Laye
                             for conv in convs {
                                 filter_bytes += conv.spec.weight_len();
                                 units.push(UnitPlan::Conv(plan_conv_unit(
-                                    &conv.spec.name,
-                                    conv.spec.r,
-                                    conv.spec.s,
-                                    conv.spec.c,
-                                    conv.spec.m,
-                                    conv.spec.stride,
+                                    conv,
                                     cur,
                                     conv.spec.out_shape(cur),
                                     geometry,
+                                    mode,
                                 )));
                             }
                         }
@@ -338,70 +501,40 @@ pub fn plan_layer(layer: &Layer, input: Shape, geometry: &CacheGeometry) -> Laye
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn plan_conv_unit(
-    name: &str,
-    r: usize,
-    s: usize,
-    c: usize,
-    m: usize,
-    stride: usize,
+    conv: &Conv2d,
     in_shape: Shape,
     out_shape: Shape,
     geometry: &CacheGeometry,
+    mode: SparsityMode,
 ) -> ConvMapping {
-    let window = r * s;
-
-    // Packing (1x1) and splitting (window > 9).
-    let (packing, split) = if window == 1 {
-        (PACK_FACTOR.min(c), 1)
-    } else if window > SPLIT_THRESHOLD {
-        (1, window.div_ceil(SPLIT_THRESHOLD))
-    } else {
-        (1, 1)
-    };
-    let eff_window = if packing > 1 {
-        packing
-    } else {
-        window.div_ceil(split)
-    };
-    let eff_channels = if packing > 1 {
-        c.div_ceil(packing)
-    } else {
-        c * split
-    };
-    let lanes_per_filter = eff_channels.next_power_of_two();
-
-    let cols = nc_sram::COLS;
-    let (arrays_per_filter, filters_per_array) = if lanes_per_filter <= cols {
-        (1, cols / lanes_per_filter)
-    } else {
-        (lanes_per_filter.div_ceil(cols), 0)
-    };
+    let spec = &conv.spec;
+    let (name, m, stride) = (&spec.name, spec.m, spec.stride);
+    let window = spec.window();
+    let geom = conv_lane_geometry(spec);
 
     let compute_arrays = geometry.compute_arrays();
-    let parallel_instances = if arrays_per_filter == 1 {
-        compute_arrays * filters_per_array
+    let parallel_instances = if geom.arrays_per_filter == 1 {
+        compute_arrays * geom.filters_per_array
     } else {
-        (compute_arrays / arrays_per_filter).max(1)
+        (compute_arrays / geom.arrays_per_filter).max(1)
     };
 
     let total_convs = out_shape.h * out_shape.w * m;
     let rounds = total_convs.div_ceil(parallel_instances).max(1);
 
-    let in_array_lanes = lanes_per_filter.min(cols);
-    let reduce_steps = in_array_lanes.trailing_zeros();
-    let cross_array_steps = arrays_per_filter.trailing_zeros();
+    let reduce_steps = geom.group_span.trailing_zeros();
+    let cross_array_steps = geom.arrays_per_filter.trailing_zeros();
 
     // Packed 1x1 layers have no input reuse and stream one input byte at a
     // time (Section IV-A), so their lanes buffer a single byte.
-    let input_lane_bytes = if packing > 1 {
+    let input_lane_bytes = if geom.packing > 1 {
         1
     } else {
-        eff_window.min(MAX_INPUT_BYTES_PER_LANE)
+        geom.eff_window.min(MAX_INPUT_BYTES_PER_LANE)
     };
     let rows = RowBudget {
-        filter: eff_window * DATA_BITS,
+        filter: geom.eff_window * DATA_BITS,
         input: input_lane_bytes * DATA_BITS,
         partial: PARTIAL_BITS,
         scratch: 2 * DATA_BITS,
@@ -416,25 +549,35 @@ fn plan_conv_unit(
         ROWS
     );
 
+    // Weight-sparsity round elision: measured on this exact lane packing.
+    let simd_skip_fraction = match mode {
+        SparsityMode::Dense => 0.0,
+        SparsityMode::SkipZeroRows if conv.weights.is_some() => {
+            crate::sparsity::conv_skip_profile(conv).fraction()
+        }
+        SparsityMode::SkipZeroRows => 0.0,
+    };
+
     ConvMapping {
-        name: name.to_owned(),
+        name: name.clone(),
         in_shape,
         out_shape,
         window,
         stride,
-        eff_window,
-        packing,
-        split,
-        eff_channels,
-        lanes_per_filter,
-        arrays_per_filter,
-        filters_per_array,
+        eff_window: geom.eff_window,
+        packing: geom.packing,
+        split: geom.split,
+        eff_channels: geom.eff_channels,
+        lanes_per_filter: geom.lanes_per_filter,
+        arrays_per_filter: geom.arrays_per_filter,
+        filters_per_array: geom.filters_per_array,
         parallel_instances,
         rounds,
         total_convs,
         reduce_steps,
         cross_array_steps,
-        fresh_input_fraction: fresh_fraction(r, stride),
+        fresh_input_fraction: fresh_fraction(spec.r, stride),
+        simd_skip_fraction,
         rows,
     }
 }
@@ -595,6 +738,98 @@ mod tests {
                 .sum()
         };
         assert!(rounds(&p60) < rounds(&p35));
+    }
+
+    #[test]
+    fn lane_geometry_reproduces_the_worked_examples() {
+        // Conv2D_2b: 3x3 over 32 channels, no packing or splitting.
+        let g = conv_lane_geometry(&nc_dnn::ConvSpec {
+            name: "conv2d_2b".into(),
+            r: 3,
+            s: 3,
+            c: 32,
+            m: 64,
+            stride: 1,
+            padding: nc_dnn::Padding::Same,
+            relu: true,
+        });
+        assert_eq!((g.packing, g.split, g.eff_window), (1, 1, 9));
+        assert_eq!(g.lanes_per_filter, 32);
+        assert_eq!((g.arrays_per_filter, g.filters_per_array), (1, 8));
+        assert_eq!(g.groups_per_array(64), 8);
+        assert_eq!(g.groups_per_array(3), 3, "few filters limit the groups");
+
+        // A 2048-channel 1x1 packs 16 channels per lane into one array.
+        let g = conv_lane_geometry(&nc_dnn::ConvSpec {
+            name: "b0_1x1".into(),
+            r: 1,
+            s: 1,
+            c: 2048,
+            m: 192,
+            stride: 1,
+            padding: nc_dnn::Padding::Same,
+            relu: true,
+        });
+        assert_eq!((g.packing, g.eff_window, g.lanes_per_filter), (16, 16, 128));
+        assert_eq!(g.groups_per_array(192), 2);
+
+        // 300 channels of a 3x3 span two arrays.
+        let g = conv_lane_geometry(&nc_dnn::ConvSpec {
+            name: "wide".into(),
+            r: 3,
+            s: 3,
+            c: 300,
+            m: 2,
+            stride: 1,
+            padding: nc_dnn::Padding::Valid,
+            relu: true,
+        });
+        assert_eq!(g.lanes_per_filter, 512);
+        assert_eq!(g.arrays_per_filter, 2);
+        assert_eq!(g.group_span, 256);
+        assert_eq!(g.groups_per_array(2), 1, "spanning filters run alone");
+    }
+
+    #[test]
+    fn dense_plans_carry_no_skip_fraction() {
+        let plans = plan_model(&inception_v3(), &xeon());
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert_eq!(c.simd_skip_fraction, 0.0, "{}", c.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_plans_measure_skip_on_the_real_packing() {
+        use nc_dnn::workload::pruned_inception;
+        let model = pruned_inception(3);
+        let plans = plan_model_with(&model, &xeon(), SparsityMode::SkipZeroRows);
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    // keep_bits = 2: at least the top 6 bit rounds skip.
+                    assert!(
+                        c.simd_skip_fraction >= 0.75,
+                        "{}: {}",
+                        c.name,
+                        c.simd_skip_fraction
+                    );
+                    assert!(c.simd_skip_fraction <= 1.0);
+                }
+            }
+        }
+        // Shape-only models plan fine in skip mode (no weights, no skips).
+        let shape_only = plan_model_with(&inception_v3(), &xeon(), SparsityMode::SkipZeroRows);
+        for plan in &shape_only {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert_eq!(c.simd_skip_fraction, 0.0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,31 +1,131 @@
-//! Sparsity analysis — the paper's stated future work (Section VII:
-//! "Utilizing sparsity in DNN models for Neural Cache is a promising
-//! direction").
+//! Sparsity analysis and the round-skipping execution mode — the paper's
+//! stated future work (Section VII: "Utilizing sparsity in DNN models for
+//! Neural Cache is a promising direction").
 //!
 //! Bit-serial multiplication iterates over *multiplier bits*: each zero bit
 //! of the multiplier still costs a tag load plus `n` predicated add cycles,
-//! because lanes are SIMD — a cycle can only be skipped if **every** lane
-//! agrees. This module quantifies two optimization levels for a given
-//! weight distribution:
+//! because lanes are SIMD — a round can only be elided if **every** lane
+//! agrees. Weights are stationary, so with the filters as the multiplier
+//! the control FSM knows every all-lanes-zero bit-slice row at filter-load
+//! time and can skip those rounds for free; [`SparsityMode::SkipZeroRows`]
+//! turns that on across the SRAM ops, the functional executor, and the
+//! timing simulator (see `nc_sram::ComputeArray::mul_skip_zero_rows`).
+//!
+//! This module quantifies two optimization levels for a weight
+//! distribution:
 //!
 //! - **oracle (per-lane)**: the lower bound if each lane could skip its own
 //!   zero multiplier bits (what a non-SIMD bit-serial machine gets);
-//! - **simd (all-lanes-zero rows)**: the cycles actually removable in
-//!   Neural Cache, where a multiplier-bit round can be elided only when the
-//!   bit-slice row is zero across all active lanes of the array.
+//! - **simd (all-lanes-zero rows)**: the rounds actually removable in
+//!   Neural Cache, measured on the **mapper's real lane packing**
+//!   ([`crate::mapping::conv_lane_geometry`] + [`crate::mapping::chunk_filter`]),
+//!   so the analytical skip fraction agrees exactly with the executed
+//!   [`nc_sram::CycleStats::skipped_rounds`] counters.
 //!
-//! The analysis runs over a model's real weight codes and reports the MAC
-//! cycle savings under the derived cost model.
+//! All cycle arithmetic derives from the [`CostModel`] trait — the analysis
+//! can no longer drift from `cost.rs`.
 
 use nc_dnn::{Conv2d, Layer, Model};
+use nc_sram::COLS;
 
-use crate::cost::DATA_BITS;
+use crate::cost::{CostModel, DATA_BITS};
+use crate::mapping::{chunk_filter, conv_lane_geometry};
+
+/// Whether the executors elide all-lanes-zero multiplier-bit rounds.
+///
+/// The knob lives on [`crate::SystemConfig`]; both modes produce
+/// **bit-identical outputs** (an elided round is a functional no-op by
+/// construction), only cycle counts change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SparsityMode {
+    /// Execute every multiplier-bit round (the paper's baseline machine).
+    #[default]
+    Dense,
+    /// Elide rounds whose weight bit-slice row is zero on every lane of the
+    /// array (Section VII future work; BitWave-style bit-level skipping).
+    SkipZeroRows,
+}
+
+/// Round-skip opportunity of one convolution sub-layer on its real lane
+/// packing, counted per output window (the same filter layout repeats for
+/// every window, so the fraction equals the executed one exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipProfile {
+    /// Multiplier-bit rounds elidable per output window.
+    pub skippable_rounds: u64,
+    /// Multiplier-bit rounds scheduled per output window.
+    pub total_rounds: u64,
+}
+
+impl SkipProfile {
+    /// Fraction of scheduled rounds that are elidable.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_rounds == 0 {
+            0.0
+        } else {
+            self.skippable_rounds as f64 / self.total_rounds as f64
+        }
+    }
+}
+
+/// Measures the SIMD skip profile of one convolution on the exact lane
+/// packing the mapper/executor realize: filters are chunked per lane
+/// ([`chunk_filter`]), grouped `groups_per_array` at a time, and a round
+/// `(m-block, array, tap, bit)` is elidable only when that bit is zero on
+/// **every** live lane of the array.
+///
+/// # Panics
+///
+/// Panics if the sub-layer is shape-only.
+#[must_use]
+pub fn conv_skip_profile(conv: &Conv2d) -> SkipProfile {
+    let spec = &conv.spec;
+    assert!(conv.weights.is_some(), "skip profile needs weights");
+    let geom = conv_lane_geometry(spec);
+    let groups_per_array = geom.groups_per_array(spec.m);
+
+    let mut skippable = 0u64;
+    let mut total = 0u64;
+    let mut m = 0;
+    while m < spec.m {
+        let group_count = groups_per_array.min(spec.m - m);
+        let filters: Vec<Vec<Vec<u8>>> = (m..m + group_count)
+            .map(|f| chunk_filter(conv, f, &geom))
+            .collect();
+        for array_idx in 0..geom.arrays_per_filter {
+            let lane_base = array_idx * COLS;
+            for t in 0..geom.eff_window {
+                // OR of this tap's bytes over every live lane of the array:
+                // bit j of the mask set <=> round (t, j) has a live 1 bit.
+                let mut or_mask = 0u8;
+                for chunks in &filters {
+                    for l in 0..geom.group_span {
+                        or_mask |= chunks.get(lane_base + l).map_or(0, |lane| lane[t]);
+                    }
+                }
+                total += DATA_BITS as u64;
+                // DATA_BITS = 8 = u8::BITS: every zero bit of the OR mask
+                // is one elidable round.
+                skippable += u64::from(or_mask.count_zeros());
+            }
+        }
+        m += group_count;
+    }
+    SkipProfile {
+        skippable_rounds: skippable,
+        total_rounds: total,
+    }
+}
 
 /// Sparsity statistics of one convolution sub-layer's weights.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparsityStats {
     /// Sub-layer name.
     pub name: String,
+    /// Output windows (`E_h * E_w`): every window re-executes the same
+    /// round schedule, so model-level fractions weight by this count.
+    pub positions: usize,
     /// Total weight codes.
     pub weights: usize,
     /// Codes equal to the weight zero point (exactly-zero real weights).
@@ -35,8 +135,10 @@ pub struct SparsityStats {
     /// Fraction of multiplier-bit rounds an oracle per-lane skipper
     /// removes.
     pub oracle_skip_fraction: f64,
-    /// Fraction of rounds removable under the SIMD constraint, sampling
-    /// 256-lane groups in mapping order.
+    /// Round-skip profile on the mapper's actual lane packing.
+    pub profile: SkipProfile,
+    /// Fraction of rounds removable under the SIMD all-lanes-zero
+    /// constraint (`profile.fraction()`).
     pub simd_skip_fraction: f64,
 }
 
@@ -48,52 +150,72 @@ pub struct SparsityReport {
 }
 
 impl SparsityReport {
-    /// Weighted mean oracle skip fraction (weighted by weight count).
+    /// Mean oracle skip fraction, weighted by executed (weight, bit)
+    /// rounds — weight codes times output windows.
     #[must_use]
     pub fn oracle_skip(&self) -> f64 {
-        weighted(&self.sublayers, |s| s.oracle_skip_fraction)
+        let total: f64 = self
+            .sublayers
+            .iter()
+            .map(|s| (s.weights * s.positions) as f64)
+            .sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.sublayers
+            .iter()
+            .map(|s| s.oracle_skip_fraction * (s.weights * s.positions) as f64)
+            .sum::<f64>()
+            / total
     }
 
-    /// Weighted mean SIMD-feasible skip fraction.
+    /// Mean SIMD-feasible skip fraction, weighted by executed rounds
+    /// (per-window rounds times output windows). Every window re-runs the
+    /// same round schedule, so this equals the functional executor's
+    /// `skipped_rounds / mul_rounds` **exactly**, on any model.
     #[must_use]
     pub fn simd_skip(&self) -> f64 {
-        weighted(&self.sublayers, |s| s.simd_skip_fraction)
+        let total: u64 = self
+            .sublayers
+            .iter()
+            .map(|s| s.positions as u64 * s.profile.total_rounds)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.sublayers
+            .iter()
+            .map(|s| s.positions as u64 * s.profile.skippable_rounds)
+            .sum::<u64>() as f64
+            / total as f64
     }
 
-    /// Idealized MAC speedup if skipped rounds cost nothing (oracle).
-    ///
-    /// Each multiplier bit round costs `n + 2` of the `n^2 + 4n` derived
-    /// multiply cycles.
+    /// Idealized MAC speedup under `cost` if each lane could skip its own
+    /// zero multiplier bits (oracle).
     #[must_use]
-    pub fn oracle_mac_speedup(&self) -> f64 {
-        mac_speedup(self.oracle_skip())
+    pub fn oracle_mac_speedup(&self, cost: &dyn CostModel) -> f64 {
+        mac_speedup(cost, self.oracle_skip())
     }
 
-    /// Realizable MAC speedup under the SIMD all-lanes-zero constraint.
+    /// Realizable MAC speedup under `cost` with the SIMD all-lanes-zero
+    /// constraint on the real lane packing.
     #[must_use]
-    pub fn simd_mac_speedup(&self) -> f64 {
-        mac_speedup(self.simd_skip())
+    pub fn simd_mac_speedup(&self, cost: &dyn CostModel) -> f64 {
+        mac_speedup(cost, self.simd_skip())
     }
 }
 
-fn weighted(stats: &[SparsityStats], f: impl Fn(&SparsityStats) -> f64) -> f64 {
-    let total: usize = stats.iter().map(|s| s.weights).sum();
-    if total == 0 {
-        return 0.0;
-    }
-    stats.iter().map(|s| f(s) * s.weights as f64).sum::<f64>() / total as f64
+/// MAC-phase speedup of eliding `skip` of the multiplier-bit rounds,
+/// derived entirely from the [`CostModel`] (dense MAC cycles over
+/// skip-aware MAC cycles).
+fn mac_speedup(cost: &dyn CostModel, skip: f64) -> f64 {
+    cost.mac_cycles() as f64 / cost.mac_cycles_sparse(skip)
 }
 
-fn mac_speedup(skip: f64) -> f64 {
-    let n = DATA_BITS as f64;
-    let mul = n * n + 4.0 * n; // derived multiply cost
-    let per_round = n + 2.0;
-    let saved = skip * n * per_round;
-    let acc = 24.0 + 16.0; // accumulate + S2 (unaffected by weight sparsity)
-    (mul + acc) / (mul + acc - saved)
-}
-
-/// Analyzes the weight sparsity of every convolution sub-layer.
+/// Analyzes the weight sparsity of every convolution sub-layer. Shapes
+/// propagate through the graph exactly as in the mapper, so every
+/// sub-layer's output-window count (the executed-round weighting) is
+/// known.
 ///
 /// # Panics
 ///
@@ -101,16 +223,39 @@ fn mac_speedup(skip: f64) -> f64 {
 #[must_use]
 pub fn analyze(model: &Model) -> SparsityReport {
     assert!(model.has_weights(), "sparsity analysis needs weights");
-    let sublayers = model
-        .layers
-        .iter()
-        .flat_map(Layer::conv_sublayers)
-        .map(analyze_conv)
-        .collect();
+    let mut sublayers = Vec::new();
+    for (layer, input) in model.layers.iter().zip(model.layer_inputs()) {
+        match layer {
+            Layer::Conv(conv) => {
+                sublayers.push(analyze_conv(conv, conv.spec.out_shape(input)));
+            }
+            Layer::Pool(_) => {}
+            Layer::Mixed(block) => {
+                for branch in &block.branches {
+                    let mut cur = input;
+                    for op in &branch.ops {
+                        match op {
+                            nc_dnn::BranchOp::Conv(conv) => {
+                                let out = conv.spec.out_shape(cur);
+                                sublayers.push(analyze_conv(conv, out));
+                                cur = out;
+                            }
+                            nc_dnn::BranchOp::Pool(pool) => cur = pool.out_shape(cur),
+                            nc_dnn::BranchOp::Split(convs) => {
+                                for conv in convs {
+                                    sublayers.push(analyze_conv(conv, conv.spec.out_shape(cur)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
     SparsityReport { sublayers }
 }
 
-fn analyze_conv(conv: &Conv2d) -> SparsityStats {
+fn analyze_conv(conv: &Conv2d, out_shape: nc_dnn::Shape) -> SparsityStats {
     let weights = conv.weights.as_ref().expect("weights present");
     let zp = conv.w_quant.zero_point.clamp(0, 255) as u8;
     let zero_codes = weights.iter().filter(|&&w| w == zp).count();
@@ -120,48 +265,37 @@ fn analyze_conv(conv: &Conv2d) -> SparsityStats {
     // Oracle: fraction of (weight, bit) rounds with a zero multiplier bit.
     let oracle_skip_fraction = 1.0 - bit_density;
 
-    // SIMD: walk the weights in 256-lane groups (the order the mapper packs
-    // filters); a bit round is skippable only when all lanes' bits are 0.
-    let mut skippable_rounds = 0u64;
-    let mut total_rounds = 0u64;
-    for group in weights.chunks(nc_sram::COLS) {
-        for bit in 0..DATA_BITS {
-            total_rounds += 1;
-            if group.iter().all(|&w| (w >> bit) & 1 == 0) {
-                skippable_rounds += 1;
-            }
-        }
-    }
+    // SIMD: the real lane packing, exactly as executed.
+    let profile = conv_skip_profile(conv);
     SparsityStats {
         name: conv.spec.name.clone(),
+        positions: out_shape.h * out_shape.w,
         weights: weights.len(),
         zero_codes,
         bit_density,
         oracle_skip_fraction,
-        simd_skip_fraction: if total_rounds == 0 {
-            0.0
-        } else {
-            skippable_rounds as f64 / total_rounds as f64
-        },
+        profile,
+        simd_skip_fraction: profile.fraction(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nc_dnn::workload::{random_conv, single_conv_model, tiny_cnn};
+    use crate::cost::DerivedCostModel;
+    use nc_dnn::workload::{prune_conv, random_conv, single_conv_model, tiny_cnn};
     use nc_dnn::{Padding, Shape, WeightQuant};
 
     #[test]
     fn dense_random_weights_offer_no_simd_skips() {
         let report = analyze(&tiny_cnn(1));
         // Uniform random codes: ~50% oracle skip, essentially zero SIMD
-        // skip (some all-zero bit-slice across 256 lanes is vanishingly
-        // unlikely).
+        // skip (an all-zero bit-slice across a whole array's live lanes is
+        // vanishingly unlikely).
         assert!((report.oracle_skip() - 0.5).abs() < 0.05);
         assert!(report.simd_skip() < 0.05);
-        assert!(report.oracle_mac_speedup() > 1.3);
-        assert!(report.simd_mac_speedup() < 1.1);
+        assert!(report.oracle_mac_speedup(&DerivedCostModel) > 1.3);
+        assert!(report.simd_mac_speedup(&DerivedCostModel) < 1.1);
     }
 
     #[test]
@@ -185,8 +319,57 @@ mod tests {
             "top nibble rounds skippable, got {}",
             report.simd_skip()
         );
-        assert!(report.simd_mac_speedup() > 1.4);
-        assert!(report.oracle_mac_speedup() >= report.simd_mac_speedup());
+        assert!(report.simd_mac_speedup(&DerivedCostModel) > 1.4);
+        assert!(
+            report.oracle_mac_speedup(&DerivedCostModel)
+                >= report.simd_mac_speedup(&DerivedCostModel)
+        );
+    }
+
+    #[test]
+    fn speedups_derive_from_the_cost_model() {
+        // The analysis must agree with CostModel::mac_cycles_sparse for any
+        // model — no hardcoded cycle constants.
+        let report = analyze(&tiny_cnn(3));
+        for cost in [
+            &crate::cost::PaperCostModel as &dyn CostModel,
+            &DerivedCostModel,
+        ] {
+            let expected = cost.mac_cycles() as f64 / cost.mac_cycles_sparse(report.simd_skip());
+            assert!((report.simd_mac_speedup(cost) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skip_profile_matches_flat_chunks_for_single_filter_arrays() {
+        // One 2-filter group over 8x9=72-lane... geometry sanity: the
+        // profile's denominator is the executed round count.
+        let conv = random_conv("p", (3, 3), 8, 2, 1, Padding::Same, true, 7);
+        let profile = conv_skip_profile(&conv);
+        let geom = crate::mapping::conv_lane_geometry(&conv.spec);
+        // m = 2 filters fit one array: one m-block, eff_window taps, 8 bits.
+        assert_eq!(
+            profile.total_rounds,
+            (geom.eff_window * DATA_BITS) as u64,
+            "both filters share one array's rounds"
+        );
+    }
+
+    #[test]
+    fn pruned_conv_profile_reports_three_quarters_skip() {
+        // keep_bits = 2: bit rounds 2..8 are always elidable.
+        let conv = prune_conv(
+            random_conv("pc", (3, 3), 8, 4, 1, Padding::Same, true, 11),
+            2,
+            0.0,
+            13,
+        );
+        let profile = conv_skip_profile(&conv);
+        assert!(
+            (profile.fraction() - 0.75).abs() < 1e-9,
+            "got {}",
+            profile.fraction()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use nc_dnn::{Model, PoolKind};
 use nc_geometry::SimTime;
 
 use crate::config::SystemConfig;
-use crate::mapping::{plan_model, ConvMapping, LayerPlan, PoolMapping, UnitPlan};
+use crate::mapping::{plan_model_with, ConvMapping, LayerPlan, PoolMapping, UnitPlan};
 
 /// Execution phases of Figure 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +129,9 @@ pub struct LayerTiming {
     pub rounds: usize,
     /// Per-array compute cycles (serial view, summed over units).
     pub compute_cycles: u64,
+    /// MAC cycles elided by [`crate::SparsityMode::SkipZeroRows`] (0 under
+    /// dense execution); already excluded from `compute_cycles`.
+    pub mac_saved_cycles: u64,
     /// Average fraction of compute arrays active during compute phases.
     pub active_fraction: f64,
     /// Bytes streamed over the interconnect (inputs + outputs).
@@ -248,7 +251,7 @@ impl fmt::Display for InferenceReport {
 /// identical under every engine (results fold in layer order).
 #[must_use]
 pub fn time_inference(config: &SystemConfig, model: &Model) -> InferenceReport {
-    let plans = plan_model(model, &config.geometry);
+    let plans = plan_model_with(model, &config.geometry, config.sparsity);
     let layers = config
         .parallelism
         .run(plans.len(), |i| time_layer(config, &plans[i], i == 0));
@@ -270,6 +273,7 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
     let mut phases = PhaseBreakdown::new();
     let mut rounds_total = 0usize;
     let mut compute_cycles = 0u64;
+    let mut mac_saved_cycles = 0u64;
     let mut active_weighted = 0.0f64;
     let mut streamed_bytes = 0usize;
     let mut dram_bytes = 0usize;
@@ -287,7 +291,8 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
     for unit in &plan.units {
         match unit {
             UnitPlan::Conv(c) => {
-                let (cycles_mac, cycles_red, cycles_quant) = conv_cycles(cost, c);
+                let (cycles_mac, cycles_saved, cycles_red, cycles_quant) = conv_cycles(cost, c);
+                mac_saved_cycles += cycles_saved;
                 phases.add(Phase::Mac, SimTime::from_cycles(cycles_mac, freq));
                 phases.add(Phase::Reduce, SimTime::from_cycles(cycles_red, freq));
                 phases.add(Phase::Quantize, SimTime::from_cycles(cycles_quant, freq));
@@ -378,16 +383,24 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
         phases,
         rounds: rounds_total,
         compute_cycles,
+        mac_saved_cycles,
         active_fraction,
         streamed_bytes,
         dram_bytes,
     }
 }
 
-/// (MAC, reduction, quantization) cycles of one convolution unit.
-fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> (u64, u64, u64) {
+/// (MAC, MAC-saved, reduction, quantization) cycles of one convolution
+/// unit. Under `SkipZeroRows` the MAC phase shrinks by the mapping's
+/// measured skip fraction (per-bank FSMs advance through their own round
+/// schedules between reduction barriers, and filters of one sub-layer are
+/// pruned uniformly, so the mean skip fraction is the phase-level model).
+fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> (u64, u64, u64, u64) {
     let rounds = c.rounds as u64;
-    let mac = rounds * c.eff_window as u64 * cost.mac_cycles();
+    let serial_macs = rounds * c.eff_window as u64;
+    let mac_dense = serial_macs * cost.mac_cycles();
+    let mac = (serial_macs as f64 * cost.mac_cycles_sparse(c.simd_skip_fraction)).round() as u64;
+    let saved = mac_dense.saturating_sub(mac);
     let reduce = rounds
         * (cost.reduction_setup_cycles()
             + u64::from(c.reduce_steps) * cost.reduction_step_cycles()
@@ -395,7 +408,7 @@ fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> (u64, u64, u64) {
     let quant = rounds * cost.requant_cycles()
         + cost.minmax_tree_cycles(nc_sram::COLS)
         + CROSS_SLICE_MINMAX_CYCLES;
-    (mac, reduce, quant)
+    (mac, saved, reduce, quant)
 }
 
 /// Pooling cycles of one pooling unit.
@@ -516,6 +529,52 @@ mod tests {
         let seq = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
         let thr = time_inference(&SystemConfig::with_parallelism(4), &model);
         assert_eq!(seq, thr, "parallelism must not change simulated timing");
+    }
+
+    #[test]
+    fn skip_zero_rows_shrinks_mac_phase_on_pruned_models() {
+        use crate::sparsity::SparsityMode;
+        use nc_dnn::workload::pruned_inception;
+        let model = pruned_inception(7);
+        let dense = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+        let sparse = time_inference(
+            &SystemConfig::with_sparsity(SparsityMode::SkipZeroRows),
+            &model,
+        );
+        let mac_dense = dense.breakdown().get(Phase::Mac).as_secs_f64();
+        let mac_sparse = sparse.breakdown().get(Phase::Mac).as_secs_f64();
+        assert!(
+            mac_dense / mac_sparse >= 1.3,
+            "pruned model must elide >= 1.3x MAC cycles, got {:.2}x",
+            mac_dense / mac_sparse
+        );
+        // Savings are reported per layer and only the MAC phase changes.
+        assert!(sparse.layers.iter().any(|l| l.mac_saved_cycles > 0));
+        assert!(dense.layers.iter().all(|l| l.mac_saved_cycles == 0));
+        for (d, s) in dense.layers.iter().zip(&sparse.layers) {
+            for phase in Phase::ALL {
+                if phase != Phase::Mac {
+                    assert_eq!(d.phases.get(phase), s.phases.get(phase), "{phase:?}");
+                }
+            }
+        }
+        assert!(sparse.total() < dense.total());
+    }
+
+    #[test]
+    fn skip_mode_is_a_no_op_for_dense_random_weights() {
+        use crate::sparsity::SparsityMode;
+        use nc_dnn::workload::mini_inception;
+        let model = mini_inception(7);
+        let dense = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+        let sparse = time_inference(
+            &SystemConfig::with_sparsity(SparsityMode::SkipZeroRows),
+            &model,
+        );
+        // Random dense codes offer (almost) no all-lanes-zero rows.
+        let ratio = dense.breakdown().get(Phase::Mac).as_secs_f64()
+            / sparse.breakdown().get(Phase::Mac).as_secs_f64();
+        assert!(ratio < 1.05, "dense weights should barely skip: {ratio:.3}");
     }
 
     #[test]

@@ -36,6 +36,37 @@ fn derived_mac_cycles_match_functional_ops() {
 }
 
 #[test]
+fn derived_mul_round_matches_skip_accounting() {
+    // The per-round cost the sparsity analysis elides must equal what the
+    // real bit-serial multiply spends per multiplier bit — and what
+    // mul_skip_zero_rows reports as saved when it elides a round.
+    let mut a = arr();
+    let x = Operand::new(0, 8).unwrap();
+    let w = Operand::new(8, 8).unwrap();
+    let prod = Operand::new(16, 16).unwrap();
+    a.poke_lane(0, x, 77);
+    a.poke_lane(0, w, 0b0000_0101); // rounds 1, 3..8 are all-zero
+    let d = a.mul_skip_zero_rows(x, w, prod).unwrap();
+    assert_eq!(a.peek_lane(0, prod), 77 * 5);
+    assert_eq!(d.skipped_rounds, 6);
+    assert_eq!(
+        d.skipped_cycles,
+        6 * DerivedCostModel.mul_round_cycles(),
+        "DerivedCostModel::mul_round_cycles out of sync with nc-sram"
+    );
+    // Dense full-mul cost decomposes as prod zeroing + 8 rounds.
+    let mut b = arr();
+    b.poke_lane(0, x, 77);
+    b.poke_lane(0, w, 255);
+    let dense = b.mul(x, w, prod).unwrap();
+    assert_eq!(
+        dense.compute_cycles,
+        16 + 8 * DerivedCostModel.mul_round_cycles()
+    );
+    assert_eq!(dense.mul_rounds, 8);
+}
+
+#[test]
 fn derived_reduction_step_matches_functional_ops() {
     // One reduction step = lane move (2 cycles/row) + 32-bit add, for each
     // of the S1 and S2 trees.

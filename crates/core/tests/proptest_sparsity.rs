@@ -1,0 +1,91 @@
+//! Property tests of the `SparsityMode::SkipZeroRows` execution mode: for
+//! random **and** pruned weights, skipping must be byte-identical to dense
+//! execution with exactly reconciled cycle accounting, and on single-conv
+//! models the executed skip counters must match the `sparsity::analyze`
+//! prediction computed on the mapper's real lane packing.
+
+use nc_dnn::workload::{prune_conv, random_conv, random_input, single_conv_model};
+use nc_dnn::{Padding, Shape};
+use neural_cache::functional::run_model_configured;
+use neural_cache::{ExecutionEngine, SparsityMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SkipZeroRows output is byte-identical to Dense for random and
+    /// pruned weights, across kernel shapes, channels, strides and
+    /// pruning strengths; the skipped/saved counters reconcile the two
+    /// cycle counts exactly.
+    #[test]
+    fn skipping_is_byte_identical_to_dense(
+        r in 1usize..4,
+        s in 1usize..4,
+        c in 1usize..20,
+        m in 1usize..5,
+        stride in 1usize..3,
+        keep_bits in 1u32..9,
+        zero_pct in 0u32..11,
+        prune in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let k = 5usize; // input spatial size
+        let mut conv = random_conv("prop", (r, s), c, m, stride, Padding::Same, true, seed);
+        if prune {
+            conv = prune_conv(conv, keep_bits, f64::from(zero_pct) / 10.0, seed + 7);
+        }
+        let model = single_conv_model(conv, Shape::new(k, k, c));
+        let input = random_input(model.input_shape, model.input_quant, seed + 1);
+
+        let dense = run_model_configured(
+            &model, &input, ExecutionEngine::Sequential, SparsityMode::Dense,
+        ).expect("dense run");
+        let sparse = run_model_configured(
+            &model, &input, ExecutionEngine::Sequential, SparsityMode::SkipZeroRows,
+        ).expect("skip run");
+
+        prop_assert_eq!(dense.output.data(), sparse.output.data());
+        prop_assert_eq!(&dense.sublayers, &sparse.sublayers);
+        prop_assert_eq!(dense.cycles.mul_rounds, sparse.cycles.mul_rounds);
+        prop_assert_eq!(dense.cycles.skipped_rounds, 0);
+        prop_assert!(sparse.cycles.skipped_rounds <= sparse.cycles.mul_rounds);
+        prop_assert_eq!(
+            sparse.cycles.compute_cycles + sparse.cycles.skipped_cycles,
+            dense.cycles.compute_cycles,
+            "saved cycles must reconcile the two runs"
+        );
+        prop_assert_eq!(dense.cycles.access_cycles, sparse.cycles.access_cycles);
+    }
+
+    /// The executed skip fraction equals the `sparsity::analyze`
+    /// prediction exactly on single-conv models (the analysis walks the
+    /// mapper's actual per-array lane packing).
+    #[test]
+    fn executed_skip_counters_match_analysis(
+        r in 1usize..4,
+        s in 1usize..4,
+        c in 1usize..24,
+        m in 1usize..6,
+        keep_bits in 1u32..9,
+        zero_pct in 0u32..11,
+        seed in 0u64..1000,
+    ) {
+        let conv = prune_conv(
+            random_conv("prop", (r, s), c, m, 1, Padding::Valid, true, seed),
+            keep_bits,
+            f64::from(zero_pct) / 10.0,
+            seed + 3,
+        );
+        let model = single_conv_model(conv, Shape::new(4, 4, c));
+        let input = random_input(model.input_shape, model.input_quant, seed + 5);
+        let run = run_model_configured(
+            &model, &input, ExecutionEngine::Sequential, SparsityMode::SkipZeroRows,
+        ).expect("skip run");
+        let predicted = neural_cache::sparsity::analyze(&model).simd_skip();
+        let executed = run.cycles.skip_fraction();
+        prop_assert!(
+            (executed - predicted).abs() < 1e-12,
+            "executed {} vs predicted {}", executed, predicted
+        );
+    }
+}

@@ -374,6 +374,26 @@ impl Layer {
         };
         convs.into_iter()
     }
+
+    /// Mutable counterpart of [`Layer::conv_sublayers`] (used by workload
+    /// transforms such as weight pruning).
+    pub fn conv_sublayers_mut(&mut self) -> impl Iterator<Item = &mut Conv2d> {
+        let convs: Vec<&mut Conv2d> = match self {
+            Layer::Conv(c) => vec![c],
+            Layer::Pool(_) => Vec::new(),
+            Layer::Mixed(m) => m
+                .branches
+                .iter_mut()
+                .flat_map(|b| &mut b.ops)
+                .flat_map(|op| match op {
+                    BranchOp::Conv(c) => vec![c],
+                    BranchOp::Pool(_) => Vec::new(),
+                    BranchOp::Split(cs) => cs.iter_mut().collect(),
+                })
+                .collect(),
+        };
+        convs.into_iter()
+    }
 }
 
 /// A whole network: input description plus the layer chain.

@@ -52,6 +52,74 @@ pub fn random_conv(
     Conv2d::with_weights(spec, weights, w_quant, bias)
 }
 
+/// Prunes a convolution's weight codes, the workload shape behind
+/// bit-slice round skipping: every code is masked to its low `keep_bits`
+/// bits (low-magnitude quantization — the top `8 - keep_bits` bit-slice
+/// rows become all-zero on every lane), and an additional `zero_fraction`
+/// of the codes is zeroed outright (magnitude pruning). The weight zero
+/// point moves to 0 so pruned codes decode to exactly-zero real weights.
+///
+/// Shape-only layers pass through unchanged.
+///
+/// # Panics
+///
+/// Panics if `keep_bits` is 0 or exceeds 8, or `zero_fraction` is outside
+/// `[0, 1]`.
+#[must_use]
+pub fn prune_conv(mut conv: Conv2d, keep_bits: u32, zero_fraction: f64, seed: u64) -> Conv2d {
+    assert!((1..=8).contains(&keep_bits), "keep_bits in 1..=8");
+    assert!(
+        (0.0..=1.0).contains(&zero_fraction),
+        "zero_fraction in [0, 1]"
+    );
+    let mask = ((1u16 << keep_bits) - 1) as u8;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5041_5253_4541_u64);
+    if let Some(w) = conv.weights.as_mut() {
+        for q in w.iter_mut() {
+            *q &= mask;
+            if zero_fraction > 0.0 && rng.gen_range(0.0..1.0) < zero_fraction {
+                *q = 0;
+            }
+        }
+    }
+    conv.w_quant = WeightQuant {
+        scale: conv.w_quant.scale,
+        zero_point: 0,
+    };
+    conv
+}
+
+/// [`mini_inception`] with every convolution pruned to 2-bit codes and 50%
+/// exact zeros — the dense-vs-pruned evaluation workload for
+/// `SparsityMode::SkipZeroRows` (at least the top six multiplier-bit
+/// rounds of every MAC are elidable).
+#[must_use]
+pub fn pruned_inception(seed: u64) -> Model {
+    let mut model = mini_inception(seed);
+    model.name = "pruned-inception".into();
+    let mut salt = 0u64;
+    for layer in &mut model.layers {
+        for conv in layer.conv_sublayers_mut() {
+            salt += 1;
+            *conv = prune_conv(conv.clone(), 2, 0.5, seed.wrapping_add(salt));
+        }
+    }
+    model
+}
+
+/// A single pruned convolution model (keep 2 bits, half the codes zero) —
+/// the focused workload for predicted-vs-executed skip cross-checks.
+#[must_use]
+pub fn pruned_conv_model(seed: u64) -> Model {
+    let conv = prune_conv(
+        random_conv("pruned_conv", (3, 3), 8, 4, 1, Padding::Same, true, seed),
+        2,
+        0.5,
+        seed,
+    );
+    single_conv_model(conv, Shape::new(6, 6, 8))
+}
+
 /// A small but structurally complete CNN exercising every layer kind Neural
 /// Cache supports: conv (VALID + SAME, strided), max pool, a mixed block
 /// with a pool branch and shared-range concat, average pooling and a final
@@ -344,6 +412,67 @@ mod tests {
         let input = random_input(model.input_shape, model.input_quant, 4);
         let out = run_model(&model, &input);
         assert_eq!(out.output.shape(), Shape::new(1, 1, 5));
+    }
+
+    #[test]
+    fn prune_conv_masks_and_zeroes_codes() {
+        let conv = prune_conv(
+            random_conv("p", (3, 3), 8, 4, 1, Padding::Same, true, 3),
+            2,
+            0.5,
+            9,
+        );
+        let w = conv.weights.as_ref().unwrap();
+        assert!(w.iter().all(|&q| q < 4), "codes masked to 2 bits");
+        let zeros = w.iter().filter(|&&q| q == 0).count();
+        // ~50% magnitude-pruned plus the codes that were already 0 mod 4.
+        assert!(
+            zeros as f64 / w.len() as f64 > 0.4,
+            "{zeros}/{} zero codes",
+            w.len()
+        );
+        assert_eq!(conv.w_quant.zero_point, 0, "zero code = zero weight");
+        // Deterministic.
+        let again = prune_conv(
+            random_conv("p", (3, 3), 8, 4, 1, Padding::Same, true, 3),
+            2,
+            0.5,
+            9,
+        );
+        assert_eq!(conv.weights, again.weights);
+    }
+
+    #[test]
+    fn pruned_inception_keeps_structure_and_prunes_every_conv() {
+        let dense = mini_inception(11);
+        let pruned = pruned_inception(11);
+        assert_eq!(pruned.layers.len(), dense.layers.len());
+        assert_eq!(pruned.validate(), Shape::new(1, 1, 5));
+        let mut convs = 0;
+        for layer in &pruned.layers {
+            for conv in layer.conv_sublayers() {
+                convs += 1;
+                assert!(
+                    conv.weights.as_ref().unwrap().iter().all(|&q| q < 4),
+                    "{} not pruned",
+                    conv.spec.name
+                );
+            }
+        }
+        assert_eq!(convs, dense.conv_sublayer_count());
+        // Still runs end to end.
+        let input = random_input(pruned.input_shape, pruned.input_quant, 2);
+        let out = run_model(&pruned, &input);
+        assert_eq!(out.output.shape(), Shape::new(1, 1, 5));
+    }
+
+    #[test]
+    fn pruned_conv_model_is_a_weighted_single_conv() {
+        let model = pruned_conv_model(5);
+        assert!(model.has_weights());
+        assert_eq!(model.layers.len(), 1);
+        let input = random_input(model.input_shape, model.input_quant, 6);
+        let _ = run_model(&model, &input);
     }
 
     #[test]

@@ -529,6 +529,18 @@ impl ComputeArray {
         self.stats.compute_cycles += cycles;
     }
 
+    /// Records one scheduled multiplier-bit round (dense or skipped).
+    pub(crate) fn note_mul_round(&mut self) {
+        self.stats.mul_rounds += 1;
+    }
+
+    /// Records one elided multiplier-bit round and the compute cycles the
+    /// dense schedule would have spent on it.
+    pub(crate) fn note_skipped_round(&mut self, saved_cycles: u64) {
+        self.stats.skipped_rounds += 1;
+        self.stats.skipped_cycles += saved_cycles;
+    }
+
     pub(crate) fn charge_access(&mut self, cycles: u64) {
         self.stats.access_cycles += cycles;
     }

@@ -26,6 +26,82 @@ impl ComputeArray {
     /// `prod` must hold at least `n + m` bits and be disjoint from both
     /// inputs; inputs must not overlap each other.
     pub fn mul(&mut self, a: Operand, b: Operand, prod: Operand) -> Result<CycleStats> {
+        self.validate_mul(a, b, prod)?;
+        let (n, m) = (a.bits(), b.bits());
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..m {
+            self.note_mul_round();
+            self.mul_round(a, b, prod, j, n)?;
+        }
+        Ok(self.stats() - before)
+    }
+
+    /// Vector multiplication with **all-lanes-zero round elision**: a
+    /// multiplier-bit round whose bit-slice row holds `0` on every lane is
+    /// skipped outright instead of executing `n` predicated adds that
+    /// cannot write anything (the tag latch would be all-zero, so both the
+    /// write-back and the carry update are disabled on every column — the
+    /// round is a functional no-op by construction).
+    ///
+    /// The products are **bit-identical** to [`ComputeArray::mul`]; only
+    /// the cycle count changes. Elided rounds cost zero array cycles: the
+    /// intended use is weight-stationary MACs where the multiplier rows are
+    /// filter bit-slices, and the control FSM learns which rows are
+    /// all-zero for free when the transpose unit writes them at filter-load
+    /// time (paper Section VII names this sparsity opportunity as future
+    /// work; BitWave develops the same column-wise bit-level skip).
+    /// Skipped rounds are reported via [`CycleStats::skipped_rounds`] and
+    /// the saved compute cycles via [`CycleStats::skipped_cycles`].
+    ///
+    /// # Errors
+    ///
+    /// Same operand constraints as [`ComputeArray::mul`].
+    pub fn mul_skip_zero_rows(
+        &mut self,
+        a: Operand,
+        b: Operand,
+        prod: Operand,
+    ) -> Result<CycleStats> {
+        self.validate_mul(a, b, prod)?;
+        let (n, m) = (a.bits(), b.bits());
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..m {
+            self.note_mul_round();
+            if self.cells().read_row(b.row(j))?.is_zero() {
+                // Dense cost of the elided round: tag load + n predicated
+                // adds + carry write.
+                self.note_skipped_round(n as u64 + 2);
+                continue;
+            }
+            self.mul_round(a, b, prod, j, n)?;
+        }
+        Ok(self.stats() - before)
+    }
+
+    /// One multiplier-bit round of the Figure 6 algorithm: load the tag
+    /// from multiplier bit `j`, conditionally add the multiplicand into the
+    /// partial product at offset `j`, commit the round's carry-out.
+    fn mul_round(
+        &mut self,
+        a: Operand,
+        b: Operand,
+        prod: Operand,
+        j: usize,
+        n: usize,
+    ) -> Result<()> {
+        self.op_load_tag(b.row(j))?;
+        self.preset_carry(false);
+        for i in 0..n {
+            self.op_full_add(a.row(i), prod.row(j + i), prod.row(j + i), Predicate::Tag)?;
+        }
+        self.op_write_carry(prod.row(j + n), Predicate::Tag)?;
+        Ok(())
+    }
+
+    /// Shared operand validation of the vector-multiply family.
+    fn validate_mul(&self, a: Operand, b: Operand, prod: Operand) -> Result<()> {
         let (n, m) = (a.bits(), b.bits());
         if prod.bits() < n + m {
             return Err(SramError::DestinationTooNarrow {
@@ -43,17 +119,7 @@ impl ComputeArray {
                 what: "product region overlaps an input",
             });
         }
-        let before = self.stats();
-        self.zero(prod)?;
-        for j in 0..m {
-            self.op_load_tag(b.row(j))?;
-            self.preset_carry(false);
-            for i in 0..n {
-                self.op_full_add(a.row(i), prod.row(j + i), prod.row(j + i), Predicate::Tag)?;
-            }
-            self.op_write_carry(prod.row(j + n), Predicate::Tag)?;
-        }
-        Ok(self.stats() - before)
+        Ok(())
     }
 
     /// In-place broadcast-scalar multiplication `prod <- a * k`.
@@ -182,6 +248,84 @@ mod tests {
         // k = 0 zeroes the product.
         arr.mul_scalar(a, 0, p).unwrap();
         assert_eq!(arr.peek_lane(3, p), 0);
+    }
+
+    #[test]
+    fn skip_zero_rows_is_bit_identical_to_dense() {
+        // Low-nibble multipliers: bit rows 4..8 are all-zero across lanes.
+        let mut dense = arr();
+        let mut sparse = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let values = [(200u64, 9u64), (37, 0), (255, 15), (1, 8)];
+        for (lane, (x, y)) in values.iter().enumerate() {
+            dense.poke_lane(lane, a, *x);
+            dense.poke_lane(lane, b, *y);
+            sparse.poke_lane(lane, a, *x);
+            sparse.poke_lane(lane, b, *y);
+        }
+        let d = dense.mul(a, b, p).unwrap();
+        let s = sparse.mul_skip_zero_rows(a, b, p).unwrap();
+        for (lane, (x, y)) in values.iter().enumerate() {
+            assert_eq!(sparse.peek_lane(lane, p), x * y, "lane {lane}");
+            assert_eq!(sparse.peek_lane(lane, p), dense.peek_lane(lane, p));
+        }
+        assert_eq!(d.mul_rounds, 8);
+        assert_eq!(d.skipped_rounds, 0, "dense never skips");
+        assert_eq!(s.mul_rounds, 8);
+        assert_eq!(s.skipped_rounds, 4, "top-nibble rounds elided");
+        assert_eq!(s.skipped_cycles, 4 * 10, "n + 2 cycles per round");
+        assert_eq!(
+            s.compute_cycles,
+            d.compute_cycles - s.skipped_cycles,
+            "saved cycles accounted exactly"
+        );
+    }
+
+    #[test]
+    fn all_zero_multiplier_skips_every_round() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        arr.poke_lane(0, a, 213);
+        let s = arr.mul_skip_zero_rows(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 0);
+        assert_eq!(s.skipped_rounds, 8);
+        assert_eq!(s.compute_cycles, 16, "only the product zeroing runs");
+        assert!((s.skip_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_rows_are_never_skipped() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        arr.poke_lane(0, a, 7);
+        arr.poke_lane(0, b, 255);
+        let s = arr.mul_skip_zero_rows(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 7 * 255);
+        assert_eq!(s.skipped_rounds, 0);
+        assert_eq!(s.compute_cycles, 96, "full dense cost");
+    }
+
+    #[test]
+    fn skip_variant_validates_like_dense() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let narrow = Operand::new(16, 15).unwrap();
+        assert!(matches!(
+            arr.mul_skip_zero_rows(a, b, narrow),
+            Err(SramError::DestinationTooNarrow { .. })
+        ));
+        let overlapping = Operand::new(4, 16).unwrap();
+        assert!(matches!(
+            arr.mul_skip_zero_rows(a, b, overlapping),
+            Err(SramError::OverlappingOperands { .. })
+        ));
     }
 
     #[test]

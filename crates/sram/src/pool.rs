@@ -35,15 +35,26 @@ use crate::{ComputeArray, Result};
 pub struct ArrayPool {
     zero_row: Option<usize>,
     free: Mutex<Vec<ComputeArray>>,
+    max_idle: usize,
 }
 
 impl ArrayPool {
+    /// Default cap on retained idle arrays ([`ArrayPool::max_idle`]).
+    ///
+    /// A bursty threaded run briefly checks out one array per in-flight
+    /// shard job; without a cap every high-water-mark array would sit idle
+    /// (8KB+ each) for the rest of the process. 64 comfortably covers the
+    /// steady-state working set of the sharded executor (a few arrays per
+    /// worker thread) while bounding retained memory to ~0.5 MB.
+    pub const DEFAULT_MAX_IDLE: usize = 64;
+
     /// Creates an empty pool of arrays without a dedicated zero row.
     #[must_use]
     pub fn new() -> Self {
         ArrayPool {
             zero_row: None,
             free: Mutex::new(Vec::new()),
+            max_idle: Self::DEFAULT_MAX_IDLE,
         }
     }
 
@@ -58,7 +69,23 @@ impl ArrayPool {
         Ok(ArrayPool {
             zero_row: Some(row),
             free: Mutex::new(vec![probe]),
+            max_idle: Self::DEFAULT_MAX_IDLE,
         })
+    }
+
+    /// Sets the maximum number of idle arrays the pool retains; arrays
+    /// released beyond the cap are dropped instead of pooled. A cap of 0
+    /// disables recycling entirely.
+    #[must_use]
+    pub fn with_max_idle(mut self, max_idle: usize) -> Self {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// The current idle-retention cap.
+    #[must_use]
+    pub fn max_idle(&self) -> usize {
+        self.max_idle
     }
 
     /// Checks an array out of the pool, recycling a cleared one when
@@ -93,8 +120,14 @@ impl ArrayPool {
     }
 
     fn release(&self, mut arr: ComputeArray) {
+        // Reset outside the lock: the 8KB clear is the expensive part and
+        // must not serialize concurrent releasers (a wasted reset on an
+        // over-cap array that gets dropped below is harmless).
         arr.reset();
-        self.free.lock().expect("array pool poisoned").push(arr);
+        let mut free = self.free.lock().expect("array pool poisoned");
+        if free.len() < self.max_idle {
+            free.push(arr);
+        } // else drop: the pool is at its retention cap
     }
 }
 
@@ -175,6 +208,43 @@ mod tests {
         assert!(!arr.carry().get(7), "carry latches cleared");
         assert_eq!(arr.stats().total_cycles(), 0, "stats cleared");
         assert_eq!(arr.zero_row(), Some(255), "zero row preserved");
+    }
+
+    #[test]
+    fn idle_retention_is_capped() {
+        let pool = ArrayPool::with_zero_row(255).unwrap().with_max_idle(2);
+        assert_eq!(pool.max_idle(), 2);
+        {
+            // A burst of 5 concurrent checkouts (high-water mark 5)...
+            let _burst: Vec<_> = (0..5).map(|_| pool.acquire()).collect();
+            assert_eq!(pool.idle(), 0);
+        }
+        // ...must not leave 5 arrays idle forever.
+        assert_eq!(pool.idle(), 2, "retention capped at max_idle");
+        // The pool still recycles within the cap.
+        {
+            let _a = pool.acquire();
+            assert_eq!(pool.idle(), 1);
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn default_cap_bounds_bursty_threaded_runs() {
+        let pool = ArrayPool::with_zero_row(255).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let _burst: Vec<_> = (0..32).map(|_| pool.acquire()).collect();
+                });
+            }
+        });
+        assert!(
+            pool.idle() <= ArrayPool::DEFAULT_MAX_IDLE,
+            "idle {} exceeds the default cap",
+            pool.idle()
+        );
     }
 
     #[test]

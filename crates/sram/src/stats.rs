@@ -18,6 +18,17 @@ pub struct CycleStats {
     pub compute_cycles: u64,
     /// Number of conventional access cycles executed.
     pub access_cycles: u64,
+    /// Multiplier-bit rounds scheduled by vector multiplications (one per
+    /// multiplier bit per [`crate::ComputeArray::mul`]-family call).
+    pub mul_rounds: u64,
+    /// Multiplier-bit rounds elided because the bit-slice row was zero on
+    /// every lane ([`crate::ComputeArray::mul_skip_zero_rows`]); always
+    /// `<= mul_rounds`, and 0 under dense execution.
+    pub skipped_rounds: u64,
+    /// Compute cycles the dense round schedule would have spent on the
+    /// elided rounds (the saved-cycle counter; **not** included in
+    /// `compute_cycles`, which only counts cycles actually executed).
+    pub skipped_cycles: u64,
 }
 
 impl CycleStats {
@@ -27,6 +38,20 @@ impl CycleStats {
         CycleStats {
             compute_cycles: 0,
             access_cycles: 0,
+            mul_rounds: 0,
+            skipped_rounds: 0,
+            skipped_cycles: 0,
+        }
+    }
+
+    /// Fraction of scheduled multiplier-bit rounds that were elided
+    /// (0 when no vector multiply ran).
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        if self.mul_rounds == 0 {
+            0.0
+        } else {
+            self.skipped_rounds as f64 / self.mul_rounds as f64
         }
     }
 
@@ -60,14 +85,16 @@ impl Add for CycleStats {
         CycleStats {
             compute_cycles: self.compute_cycles + rhs.compute_cycles,
             access_cycles: self.access_cycles + rhs.access_cycles,
+            mul_rounds: self.mul_rounds + rhs.mul_rounds,
+            skipped_rounds: self.skipped_rounds + rhs.skipped_rounds,
+            skipped_cycles: self.skipped_cycles + rhs.skipped_cycles,
         }
     }
 }
 
 impl AddAssign for CycleStats {
     fn add_assign(&mut self, rhs: CycleStats) {
-        self.compute_cycles += rhs.compute_cycles;
-        self.access_cycles += rhs.access_cycles;
+        *self = *self + rhs;
     }
 }
 
@@ -82,9 +109,15 @@ impl Sub for CycleStats {
     fn sub(self, rhs: CycleStats) -> CycleStats {
         debug_assert!(self.compute_cycles >= rhs.compute_cycles);
         debug_assert!(self.access_cycles >= rhs.access_cycles);
+        debug_assert!(self.mul_rounds >= rhs.mul_rounds);
+        debug_assert!(self.skipped_rounds >= rhs.skipped_rounds);
+        debug_assert!(self.skipped_cycles >= rhs.skipped_cycles);
         CycleStats {
             compute_cycles: self.compute_cycles - rhs.compute_cycles,
             access_cycles: self.access_cycles - rhs.access_cycles,
+            mul_rounds: self.mul_rounds - rhs.mul_rounds,
+            skipped_rounds: self.skipped_rounds - rhs.skipped_rounds,
+            skipped_cycles: self.skipped_cycles - rhs.skipped_cycles,
         }
     }
 }
@@ -95,7 +128,15 @@ impl fmt::Display for CycleStats {
             f,
             "{} compute + {} access cycles",
             self.compute_cycles, self.access_cycles
-        )
+        )?;
+        if self.skipped_rounds > 0 {
+            write!(
+                f,
+                " ({} of {} mul rounds skipped, {} cycles saved)",
+                self.skipped_rounds, self.mul_rounds, self.skipped_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -189,14 +230,41 @@ mod tests {
         s += CycleStats {
             compute_cycles: 10,
             access_cycles: 2,
+            ..CycleStats::new()
         };
         let t = s + CycleStats {
             compute_cycles: 5,
             access_cycles: 0,
+            ..CycleStats::new()
         };
         assert_eq!(t.compute_cycles, 15);
         assert_eq!(t.access_cycles, 2);
         assert_eq!(t.total_cycles(), 17);
+    }
+
+    #[test]
+    fn skip_counters_accumulate_and_report() {
+        let mut s = CycleStats::new();
+        assert_eq!(s.skip_fraction(), 0.0, "no multiplies yet");
+        s += CycleStats {
+            mul_rounds: 8,
+            skipped_rounds: 6,
+            skipped_cycles: 60,
+            ..CycleStats::new()
+        };
+        s += CycleStats {
+            mul_rounds: 8,
+            compute_cycles: 96,
+            ..CycleStats::new()
+        };
+        assert_eq!(s.mul_rounds, 16);
+        assert_eq!(s.skipped_rounds, 6);
+        assert!((s.skip_fraction() - 6.0 / 16.0).abs() < 1e-12);
+        assert_eq!(s.total_cycles(), 96, "saved cycles are not executed cycles");
+        let text = s.to_string();
+        assert!(text.contains("6 of 16 mul rounds skipped"));
+        assert!(text.contains("60 cycles saved"));
+        assert!(!CycleStats::new().to_string().contains("skipped"));
     }
 
     #[test]
@@ -215,6 +283,7 @@ mod tests {
         let s = CycleStats {
             compute_cycles: 1_000_000,
             access_cycles: 0,
+            ..CycleStats::new()
         };
         let e = s.energy_joules(&ArrayEnergy::node_22nm());
         assert!((e - 15.4e-6).abs() < 1e-12);
