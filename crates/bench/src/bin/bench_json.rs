@@ -1,17 +1,21 @@
 //! Emits `BENCH_functional.json`: sequential-vs-threaded wall time of the
-//! functional executor on the Inception v3 proxy workloads, plus the
-//! dense-vs-pruned sparsity section (simulated cycles, wall times, and the
-//! predicted-vs-executed skip cross-check), for CI to upload as a per-PR
-//! perf artifact.
+//! functional executor on the Inception v3 proxy workloads, the
+//! dense-vs-pruned sparsity section (simulated cycles, wall times, the
+//! predicted-vs-executed skip cross-check, and the per-bank vs lockstep
+//! skip-variant spread), and the `nc-serve` serving section (offered-load
+//! sweep, trace/policy matrix, latency percentiles), for CI to upload as a
+//! per-PR perf artifact.
 //!
 //! ```bash
 //! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json
 //! ```
 //!
 //! Exits non-zero if the threaded backend fails to reproduce the
-//! sequential outputs/cycles exactly, or if `SparsityMode::SkipZeroRows`
+//! sequential outputs/cycles exactly, if `SparsityMode::SkipZeroRows`
 //! diverges from dense output bytes or from the analytical skip fraction,
-//! so the CI bench job doubles as a determinism gate.
+//! or if the serving sanity gate fails (request conservation, latency
+//! monotone in offered load, goodput bounded by offered load, engine
+//! byte-identity), so the CI bench job doubles as a determinism gate.
 
 use std::process::ExitCode;
 
@@ -33,7 +37,8 @@ fn main() -> ExitCode {
 
     let comparisons = nc_bench::perf::compare_engines(threads, reps);
     let sparsity = nc_bench::perf::compare_sparsity(reps);
-    let json = nc_bench::perf::render_json_full(&comparisons, &sparsity, threads);
+    let serving = nc_bench::serving::run_serving_bench(threads);
+    let json = nc_bench::perf::render_json_all(&comparisons, &sparsity, Some(&serving), threads);
     std::fs::write(&out_path, &json).expect("write BENCH_functional.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
@@ -44,13 +49,20 @@ fn main() -> ExitCode {
     let sparsity_ok = sparsity
         .iter()
         .all(nc_bench::perf::SparsityComparison::verified);
+    let serving_ok = serving.verified();
     if !engines_ok {
         eprintln!("FAIL: threaded backend diverged from sequential");
     }
     if !sparsity_ok {
         eprintln!("FAIL: round skipping diverged from dense or from the analytical skip fraction");
     }
-    if engines_ok && sparsity_ok {
+    if !serving_ok {
+        eprintln!("FAIL: serving sanity gate");
+        for f in serving.gate_failures() {
+            eprintln!("  - {f}");
+        }
+    }
+    if engines_ok && sparsity_ok && serving_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

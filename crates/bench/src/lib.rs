@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod serving;
 
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -446,16 +447,58 @@ pub fn sparsity_with(comparisons: &[perf::SparsityComparison]) -> String {
         let _ = writeln!(
             out,
             "{:<24} executed skip {:>5.1}% (predicted {:>5.1}%) | compute cycles {:.2}x | \
-             simulated MAC {:.2}x | bit-identical: {}",
+             simulated MAC {:.2}x | lockstep spread {:.1}% | bit-identical: {}",
             s.name,
             100.0 * s.executed_skip_fraction,
             100.0 * s.predicted_skip_fraction,
             s.cycle_speedup(),
             s.mac_speedup(),
+            100.0 * s.lockstep_spread(),
             s.bit_identical
         );
     }
+
+    // Per-array skip-time variants: uniformly bit-pruned workloads skip the
+    // same rounds in every array (zero spread); near-total magnitude
+    // pruning differentiates arrays, so lockstep banks forfeit skips.
+    use nc_dnn::workload::{prune_conv, random_conv};
+    let demo = prune_conv(
+        random_conv(
+            "spread_demo",
+            (3, 3),
+            16,
+            64,
+            1,
+            nc_dnn::Padding::Same,
+            true,
+            9,
+        ),
+        2,
+        0.99,
+        9,
+    );
+    let v = neural_cache::sparsity::conv_skip_variants(&demo);
+    let _ = writeln!(
+        out,
+        "\nskip-time variants (99%-magnitude-pruned 3x3x16x64 conv): per-bank mean {:.1}% | \
+         lockstep (max-over-arrays) {:.1}% | spread {:.1} pts",
+        100.0 * v.mean,
+        100.0 * v.lockstep,
+        100.0 * v.spread()
+    );
     out
+}
+
+/// Serving-under-load artifact: the `nc-serve` discrete-event simulator's
+/// offered-load sweep and trace/policy matrix (see [`serving`]), run on the
+/// engine selected by [`set_threads`].
+#[must_use]
+pub fn serving_under_load() -> String {
+    let threads = ENGINE
+        .get_or_init(|| ExecutionEngine::Sequential)
+        .threads()
+        .max(2);
+    serving::render_text(&serving::run_serving_bench(threads))
 }
 
 /// Section I/III headline numbers: ALU slots, peak TOP/s, area overheads.
@@ -510,6 +553,7 @@ mod tests {
             ("fig15", fig15()),
             ("fig16", fig16()),
             ("headlines", headlines()),
+            ("serving", serving_under_load()),
         ] {
             assert!(text.lines().count() >= 3, "{name} too short:\n{text}");
         }

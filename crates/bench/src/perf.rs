@@ -24,7 +24,7 @@ use nc_dnn::workload::{
 };
 use nc_dnn::{Model, Padding, QTensor, Shape};
 use neural_cache::functional::{self, run_model_configured, FunctionalResult};
-use neural_cache::{time_inference, ExecutionEngine, Phase, SparsityMode, SystemConfig};
+use neural_cache::{time_inference, ExecutionEngine, SparsityMode, SystemConfig};
 
 /// Sequential-vs-threaded wall-time comparison of one workload.
 #[derive(Debug, Clone)]
@@ -133,8 +133,13 @@ pub struct SparsityComparison {
     pub sparse_compute_cycles: u64,
     /// Simulated MAC-phase cycles of the timing model, dense mode.
     pub timing_mac_cycles_dense: u64,
-    /// Simulated MAC-phase cycles of the timing model, skipping mode.
+    /// Simulated MAC-phase cycles of the timing model, skipping mode
+    /// (per-bank FSMs: each array skips independently — the mean variant).
     pub timing_mac_cycles_sparse: u64,
+    /// Simulated MAC cycles under the lockstep-bank skip variant (one FSM
+    /// steps every bank, so only globally-zero rounds skip; the MAC phase
+    /// is the max over arrays). Always `>= timing_mac_cycles_sparse`.
+    pub timing_mac_cycles_lockstep: u64,
     /// Multiplier-bit rounds scheduled by the skipping run.
     pub mul_rounds: u64,
     /// Rounds the skipping run elided.
@@ -160,10 +165,24 @@ impl SparsityComparison {
         self.dense_compute_cycles as f64 / self.sparse_compute_cycles as f64
     }
 
-    /// Simulated MAC-phase speedup of skipping (timing model).
+    /// Simulated MAC-phase speedup of skipping (timing model, per-bank
+    /// variant).
     #[must_use]
     pub fn mac_speedup(&self) -> f64 {
         self.timing_mac_cycles_dense as f64 / self.timing_mac_cycles_sparse as f64
+    }
+
+    /// Relative MAC-time spread between the skip variants:
+    /// `(lockstep - per_bank) / per_bank` — the extra MAC time lockstep
+    /// banks pay over per-bank FSMs.
+    #[must_use]
+    pub fn lockstep_spread(&self) -> f64 {
+        if self.timing_mac_cycles_sparse == 0 {
+            0.0
+        } else {
+            (self.timing_mac_cycles_lockstep as f64 - self.timing_mac_cycles_sparse as f64)
+                / self.timing_mac_cycles_sparse as f64
+        }
     }
 
     /// The acceptance gate: bit identity plus skip-fraction agreement.
@@ -186,13 +205,14 @@ fn pruned_workloads() -> Vec<(String, Model, QTensor)> {
     ]
 }
 
-/// MAC-phase cycles of the deterministic timing model under `mode`.
-fn timing_mac_cycles(model: &Model, mode: SparsityMode) -> u64 {
+/// `(per-bank, lockstep)` MAC cycles of the deterministic timing model
+/// under `mode` (identical under dense execution).
+fn timing_mac_cycles(model: &Model, mode: SparsityMode) -> (u64, u64) {
     let config = SystemConfig::with_sparsity(mode);
     let report = time_inference(&config, model);
-    let freq = config.timings.compute_freq_hz;
-    let secs = report.breakdown().get(Phase::Mac).as_secs_f64();
-    (secs * freq).round() as u64
+    let per_bank = report.layers.iter().map(|l| l.mac_cycles).sum();
+    let lockstep = report.layers.iter().map(|l| l.mac_cycles_lockstep).sum();
+    (per_bank, lockstep)
 }
 
 fn time_sparsity_runs(
@@ -225,14 +245,17 @@ pub fn compare_sparsity(reps: usize) -> Vec<SparsityComparison> {
             let (sparse, sparse_ms) =
                 time_sparsity_runs(&model, &input, SparsityMode::SkipZeroRows, reps);
             let predicted = neural_cache::sparsity::analyze(&model).simd_skip();
+            let (dense_mac, _) = timing_mac_cycles(&model, SparsityMode::Dense);
+            let (sparse_mac, lockstep_mac) = timing_mac_cycles(&model, SparsityMode::SkipZeroRows);
             SparsityComparison {
                 name,
                 dense_ms,
                 sparse_ms,
                 dense_compute_cycles: dense.cycles.compute_cycles,
                 sparse_compute_cycles: sparse.cycles.compute_cycles,
-                timing_mac_cycles_dense: timing_mac_cycles(&model, SparsityMode::Dense),
-                timing_mac_cycles_sparse: timing_mac_cycles(&model, SparsityMode::SkipZeroRows),
+                timing_mac_cycles_dense: dense_mac,
+                timing_mac_cycles_sparse: sparse_mac,
+                timing_mac_cycles_lockstep: lockstep_mac,
                 mul_rounds: sparse.cycles.mul_rounds,
                 skipped_rounds: sparse.cycles.skipped_rounds,
                 executed_skip_fraction: sparse.cycles.skip_fraction(),
@@ -258,6 +281,18 @@ pub fn render_json_full(
     sparsity: &[SparsityComparison],
     threads: usize,
 ) -> String {
+    render_json_all(comparisons, sparsity, None, threads)
+}
+
+/// The full `BENCH_functional.json` document: engine comparisons, the
+/// sparsity section, and (when given) the `nc-serve` serving section.
+#[must_use]
+pub fn render_json_all(
+    comparisons: &[EngineComparison],
+    sparsity: &[SparsityComparison],
+    serving: Option<&crate::serving::ServingBench>,
+    threads: usize,
+) -> String {
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"BENCH_functional\",");
@@ -276,7 +311,7 @@ pub fn render_json_full(
         let comma = if i + 1 < comparisons.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    if sparsity.is_empty() {
+    if sparsity.is_empty() && serving.is_none() {
         out.push_str("  ]\n}\n");
         return out;
     }
@@ -307,7 +342,17 @@ pub fn render_json_full(
             "      \"timing_mac_cycles_sparse\": {},",
             s.timing_mac_cycles_sparse
         );
+        let _ = writeln!(
+            out,
+            "      \"timing_mac_cycles_lockstep\": {},",
+            s.timing_mac_cycles_lockstep
+        );
         let _ = writeln!(out, "      \"mac_speedup\": {:.3},", s.mac_speedup());
+        let _ = writeln!(
+            out,
+            "      \"lockstep_spread\": {:.4},",
+            s.lockstep_spread()
+        );
         let _ = writeln!(out, "      \"mul_rounds\": {},", s.mul_rounds);
         let _ = writeln!(out, "      \"skipped_rounds\": {},", s.skipped_rounds);
         let _ = writeln!(
@@ -324,7 +369,12 @@ pub fn render_json_full(
         let comma = if i + 1 < sparsity.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(bench) = serving {
+        out.push_str(",\n");
+        out.push_str(&crate::serving::render_json_section(bench));
+    }
+    out.push_str("\n}\n");
     out
 }
 

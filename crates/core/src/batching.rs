@@ -1,12 +1,28 @@
 //! Batched inference (Section IV-E): filter weights stay stationary across
 //! a batch, amortizing the dominant filter-loading phase; over-sized layer
 //! outputs overflow the reserved way and round-trip through DRAM.
+//!
+//! [`BatchCostModel`] is the plan-once costing substrate: it plans the
+//! model a single time, folds the per-layer timings into the Section IV-E
+//! (filter, per-image) split, and can then price any batch size in O(layers)
+//! without re-planning — [`time_batch`], [`throughput_sweep`],
+//! [`serve_requests`] and the `nc-serve` discrete-event simulator all cost
+//! batches through it.
 
-use nc_geometry::SimTime;
+use nc_geometry::{DramModel, SimTime};
 
 use crate::config::SystemConfig;
 use crate::mapping::{plan_model_with, LayerPlan};
 use crate::timing::{time_layer, Phase};
+
+/// Fraction of the double-buffered dump traffic that actually drains in the
+/// background: the reserved I/O way is a single-ported staging buffer, so
+/// while the next image's inputs stream through it the background DRAM dump
+/// can claim at most every other access slot (half-duplex sharing). At 0.5
+/// the batch-256 Inception v3 peak lands at ~725 inf/s — between the
+/// fully-serialized ~588 and the fully-overlapped ~945, on the optimistic
+/// side of the paper's 604 (which models no overlap at all).
+pub const DUMP_OVERLAP_EFFICIENCY: f64 = 0.5;
 
 /// One socket's Section IV-E time split: (one-time filter loading,
 /// per-image streaming + compute). Per-layer timings are sharded through
@@ -37,8 +53,13 @@ pub struct BatchReport {
     pub filter_time: SimTime,
     /// Per-image streaming + compute time.
     pub per_image_time: SimTime,
-    /// Per-batch DRAM dump overhead (reserved-way overflow).
+    /// Raw per-batch DRAM dump traffic time (reserved-way overflow), before
+    /// double-buffering overlap.
     pub dump_time: SimTime,
+    /// Dump time hidden behind later images' compute by double buffering
+    /// through the reserved I/O way; the latency only pays
+    /// `dump_time - dump_overlap_saved`.
+    pub dump_overlap_saved: SimTime,
     /// Inferences per second across `sockets` sockets (Neural Cache scales
     /// linearly with the host CPU count, Section VI-B).
     pub throughput_ips: f64,
@@ -46,48 +67,183 @@ pub struct BatchReport {
     pub dumped_layers: Vec<String>,
 }
 
+impl BatchReport {
+    /// Dump time the batch actually stalls on (`dump_time` minus the
+    /// double-buffered overlap).
+    #[must_use]
+    pub fn dump_stall(&self) -> SimTime {
+        self.dump_time - self.dump_overlap_saved
+    }
+}
+
+/// Plan-once batch costing: the Section IV-E (filter, per-image) split and
+/// the reserved-way overflow profile of one `(config, model)` pair, priced
+/// against any batch size in O(layers) — no re-planning per query.
+///
+/// # Examples
+///
+/// ```
+/// use neural_cache::{BatchCostModel, SystemConfig};
+/// use nc_dnn::inception::inception_v3;
+///
+/// let cost = BatchCostModel::new(&SystemConfig::xeon_e5_2697_v3(), &inception_v3());
+/// let r16 = cost.report(16);
+/// assert_eq!(r16.batch, 16);
+/// assert!(cost.report(64).throughput_ips >= r16.throughput_ips * 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCostModel {
+    filter_time: SimTime,
+    per_image_time: SimTime,
+    io_capacity: usize,
+    dram: DramModel,
+    sockets: usize,
+    /// `(layer name, single-image output bytes)` per plan layer.
+    layer_outputs: Vec<(String, usize)>,
+}
+
+impl BatchCostModel {
+    /// Plans `model` once under `config` and captures everything needed to
+    /// cost batches of any size.
+    #[must_use]
+    pub fn new(config: &SystemConfig, model: &nc_dnn::Model) -> Self {
+        let plans = plan_model_with(model, &config.geometry, config.sparsity);
+        let (filter_time, per_image_time) = socket_times(config, &plans);
+        BatchCostModel {
+            filter_time,
+            per_image_time,
+            io_capacity: config.geometry.io_way_bytes(),
+            dram: config.dram,
+            sockets: config.sockets,
+            layer_outputs: plans
+                .iter()
+                .map(|p| (p.name.clone(), p.output_bytes))
+                .collect(),
+        }
+    }
+
+    /// One-time filter-loading cost (paid once while weights become
+    /// stationary on a socket or slice).
+    #[must_use]
+    pub fn filter_time(&self) -> SimTime {
+        self.filter_time
+    }
+
+    /// Marginal streaming + compute cost of one image once filters are
+    /// resident.
+    #[must_use]
+    pub fn per_image_time(&self) -> SimTime {
+        self.per_image_time
+    }
+
+    /// Raw DRAM dump traffic of a batch (reserved-way overflow: only bytes
+    /// beyond `io_way_bytes()` move — the resident portion stays in the
+    /// reserved way — and a batch of one is no exception when a single
+    /// image's output alone overflows), plus the overflowing layer names.
+    #[must_use]
+    pub fn dump_profile(&self, batch: usize) -> (SimTime, Vec<String>) {
+        let mut dumped_layers = Vec::new();
+        for (name, output_bytes) in &self.layer_outputs {
+            if output_bytes * batch > self.io_capacity {
+                dumped_layers.push(name.clone());
+            }
+        }
+        (self.dump_time(batch), dumped_layers)
+    }
+
+    /// [`BatchCostModel::dump_profile`]'s time alone, allocation-free — the
+    /// hot path for policies that probe many candidate batch sizes per
+    /// decision.
+    #[must_use]
+    pub fn dump_time(&self, batch: usize) -> SimTime {
+        let mut dump_time = SimTime::ZERO;
+        for (_, output_bytes) in &self.layer_outputs {
+            let batch_out = output_bytes * batch;
+            if batch_out > self.io_capacity {
+                dump_time += self.dram.round_trip_time(batch_out - self.io_capacity);
+            }
+        }
+        dump_time
+    }
+
+    /// Dump time hidden by double buffering through the reserved I/O way:
+    /// while image `k+1` streams and computes, image `k`'s overflow drains
+    /// to DRAM in the background. The last image's share (`dump/batch`) has
+    /// no subsequent compute to hide behind and always stalls; the earlier
+    /// images' share hides under up to `per_image * (batch - 1)` of
+    /// compute, discounted by [`DUMP_OVERLAP_EFFICIENCY`] for the reserved
+    /// way's port conflict with input staging.
+    #[must_use]
+    pub fn dump_overlap_saved(&self, batch: usize, dump_time: SimTime) -> SimTime {
+        if batch <= 1 {
+            return SimTime::ZERO;
+        }
+        let overlappable = dump_time * ((batch - 1) as f64 / batch as f64);
+        let window = self.per_image_time * (batch - 1) as f64;
+        overlappable.min(window) * DUMP_OVERLAP_EFFICIENCY
+    }
+
+    /// Service time of a batch on one socket/slice: per-image work plus the
+    /// exposed dump stall, plus the one-time filter load when `cold` (the
+    /// first batch after weights change). Warm batches reuse the stationary
+    /// filters (Section IV-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn service_time(&self, batch: usize, cold: bool) -> SimTime {
+        assert!(batch > 0, "batch must be at least 1");
+        let dump_time = self.dump_time(batch);
+        let stall = dump_time - self.dump_overlap_saved(batch, dump_time);
+        let filter = if cold {
+            self.filter_time
+        } else {
+            SimTime::ZERO
+        };
+        filter + self.per_image_time * batch as f64 + stall
+    }
+
+    /// Full Section IV-E batch report (cold start: includes filter load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn report(&self, batch: usize) -> BatchReport {
+        assert!(batch > 0, "batch must be at least 1");
+        let (dump_time, dumped_layers) = self.dump_profile(batch);
+        let dump_overlap_saved = self.dump_overlap_saved(batch, dump_time);
+        let latency = self.filter_time
+            + self.per_image_time * batch as f64
+            + (dump_time - dump_overlap_saved);
+        let throughput_ips = self.sockets as f64 * batch as f64 / latency.as_secs_f64();
+        BatchReport {
+            batch,
+            latency,
+            filter_time: self.filter_time,
+            per_image_time: self.per_image_time,
+            dump_time,
+            dump_overlap_saved,
+            throughput_ips,
+            dumped_layers,
+        }
+    }
+}
+
 /// Times a batch of `batch` images through `model` (Section IV-E
 /// semantics: per layer, filters load once, then the batch streams
 /// through). Per-layer timings are sharded through
-/// [`SystemConfig::parallelism`] and folded in layer order.
+/// [`SystemConfig::parallelism`] and folded in layer order. Reserved-way
+/// overflow dumps double-buffer behind later images' compute; only the
+/// exposed stall adds latency.
 ///
 /// # Panics
 ///
 /// Panics if `batch` is zero.
 #[must_use]
 pub fn time_batch(config: &SystemConfig, model: &nc_dnn::Model, batch: usize) -> BatchReport {
-    assert!(batch > 0, "batch must be at least 1");
-    let plans = plan_model_with(model, &config.geometry, config.sparsity);
-    let io_capacity = config.geometry.io_way_bytes();
-    let (filter_time, per_image_time) = socket_times(config, &plans);
-
-    // Reserved-way overflow: the batch's outputs of a layer exceed the
-    // staging capacity and the **overflow** round-trips through DRAM (the
-    // paper's "first five layers" effect). Only bytes beyond
-    // `io_way_bytes()` move — the resident portion stays in the reserved
-    // way — and a batch of one is no exception when a single image's
-    // output alone overflows.
-    let mut dump_time = SimTime::ZERO;
-    let mut dumped_layers = Vec::new();
-    for plan in &plans {
-        let batch_out = plan.output_bytes * batch;
-        if batch_out > io_capacity {
-            dumped_layers.push(plan.name.clone());
-            dump_time += config.dram.round_trip_time(batch_out - io_capacity);
-        }
-    }
-
-    let latency = filter_time + per_image_time * batch as f64 + dump_time;
-    let throughput_ips = config.sockets as f64 * batch as f64 / latency.as_secs_f64();
-    BatchReport {
-        batch,
-        latency,
-        filter_time,
-        per_image_time,
-        dump_time,
-        throughput_ips,
-        dumped_layers,
-    }
+    BatchCostModel::new(config, model).report(batch)
 }
 
 /// Result of the multi-request throughput-serving driver: `N` concurrent
@@ -130,8 +286,8 @@ pub fn serve_requests(
     requests: usize,
 ) -> ServingReport {
     assert!(requests > 0, "must serve at least one request");
-    let plans = plan_model_with(model, &config.geometry, config.sparsity);
-    let (filter_time, per_image_time) = socket_times(config, &plans);
+    let cost = BatchCostModel::new(config, model);
+    let (filter_time, per_image_time) = (cost.filter_time(), cost.per_image_time());
 
     let sockets = config.sockets.max(1);
     let per_socket: Vec<usize> = (0..sockets)
@@ -166,17 +322,18 @@ pub fn serve_requests(
     }
 }
 
-/// Sweeps throughput over batch sizes (Figure 16's x-axis).
+/// Sweeps throughput over batch sizes (Figure 16's x-axis). The model is
+/// planned **once** through [`BatchCostModel`]; each sweep point reuses the
+/// same plan (identical to pointwise [`time_batch`], just not O(points *
+/// layers^2)).
 #[must_use]
 pub fn throughput_sweep(
     config: &SystemConfig,
     model: &nc_dnn::Model,
     batches: &[usize],
 ) -> Vec<BatchReport> {
-    batches
-        .iter()
-        .map(|&b| time_batch(config, model, b))
-        .collect()
+    let cost = BatchCostModel::new(config, model);
+    batches.iter().map(|&b| cost.report(b)).collect()
 }
 
 #[cfg(test)]
@@ -327,5 +484,102 @@ mod tests {
         );
         assert!(r.dumped_layers.iter().any(|l| l.contains("2b")));
         assert!(r.dump_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dump_overlap_hides_all_but_the_last_image_share() {
+        // Double buffering through the reserved I/O way: only the last
+        // image's dump share stalls once the compute window is long enough.
+        let model = inception_v3();
+        let r = time_batch(&config(), &model, 64);
+        assert!(r.dump_time > SimTime::ZERO);
+        assert!(
+            r.dump_overlap_saved > SimTime::ZERO,
+            "batches overlap dumps"
+        );
+        // The compute window dominates on Inception v3, so exactly the
+        // half-duplex share of (batch-1)/batch hides.
+        let expected = r.dump_time * (63.0 / 64.0) * DUMP_OVERLAP_EFFICIENCY;
+        assert!(
+            (r.dump_overlap_saved.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-15,
+            "saved {} vs expected {}",
+            r.dump_overlap_saved,
+            expected
+        );
+        assert!(
+            (r.latency.as_secs_f64()
+                - (r.filter_time + r.per_image_time * 64.0 + r.dump_stall()).as_secs_f64())
+            .abs()
+                < 1e-15
+        );
+        // Overlap never hides more than the raw dump traffic.
+        assert!(r.dump_overlap_saved <= r.dump_time);
+    }
+
+    #[test]
+    fn batch_of_one_cannot_overlap_dumps() {
+        use nc_dnn::workload::{random_conv, single_conv_model};
+        use nc_dnn::{Padding, Shape};
+        let conv = random_conv("big", (1, 1), 4, 300, 1, Padding::Valid, true, 3);
+        let model = single_conv_model(conv, Shape::new(80, 80, 4));
+        let r = time_batch(&config(), &model, 1);
+        assert!(r.dump_time > SimTime::ZERO, "premise: batch-1 dump");
+        assert_eq!(r.dump_overlap_saved, SimTime::ZERO);
+        assert_eq!(r.dump_stall(), r.dump_time);
+    }
+
+    #[test]
+    fn overlap_is_bounded_by_the_compute_window() {
+        // A model whose dump traffic dwarfs its compute: the hidden share
+        // saturates at per_image * (batch - 1), leaving a real stall.
+        use nc_dnn::workload::{random_conv, single_conv_model};
+        use nc_dnn::{Padding, Shape};
+        let conv = random_conv("huge_out", (1, 1), 2, 512, 1, Padding::Valid, true, 5);
+        let model = single_conv_model(conv, Shape::new(64, 64, 2));
+        let cost = BatchCostModel::new(&config(), &model);
+        let r = cost.report(8);
+        let window = r.per_image_time * 7.0;
+        if r.dump_time * (7.0 / 8.0) > window {
+            let expected = window * DUMP_OVERLAP_EFFICIENCY;
+            assert!(
+                (r.dump_overlap_saved.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-15,
+                "window-bound overlap"
+            );
+            assert!(r.dump_stall() > SimTime::ZERO);
+        } else {
+            // Geometry shifted the balance; the invariant still holds.
+            assert!(r.dump_overlap_saved <= window * DUMP_OVERLAP_EFFICIENCY);
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_one_plan_and_matches_pointwise_time_batch() {
+        // Regression for the re-planning sweep: every sweep point must be
+        // identical to an independent time_batch call.
+        let model = inception_v3();
+        let config = config();
+        let batches = [1usize, 3, 8, 32, 128, 256];
+        let sweep = throughput_sweep(&config, &model, &batches);
+        assert_eq!(sweep.len(), batches.len());
+        for (r, &b) in sweep.iter().zip(&batches) {
+            assert_eq!(r, &time_batch(&config, &model, b), "batch {b}");
+        }
+    }
+
+    #[test]
+    fn cost_model_service_time_splits_cold_and_warm() {
+        let model = inception_v3();
+        let cost = BatchCostModel::new(&config(), &model);
+        let cold = cost.service_time(4, true);
+        let warm = cost.service_time(4, false);
+        assert!(
+            (cold.as_secs_f64() - (warm + cost.filter_time()).as_secs_f64()).abs() < 1e-15,
+            "cold = warm + one-time filter load"
+        );
+        // Cold batch service equals the batch report latency.
+        let r = cost.report(4);
+        assert!((cold.as_secs_f64() - r.latency.as_secs_f64()).abs() < 1e-15);
+        // Warm service scales with batch size.
+        assert!(cost.service_time(8, false) > cost.service_time(2, false));
     }
 }

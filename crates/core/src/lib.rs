@@ -48,7 +48,9 @@ pub mod mapping;
 pub mod sparsity;
 pub mod timing;
 
-pub use batching::{serve_requests, throughput_sweep, time_batch, BatchReport, ServingReport};
+pub use batching::{
+    serve_requests, throughput_sweep, time_batch, BatchCostModel, BatchReport, ServingReport,
+};
 pub use config::SystemConfig;
 pub use cost::{CostModel, CostModelKind, DerivedCostModel, PaperCostModel};
 pub use energy::{energy_of, EnergyReport};
@@ -113,6 +115,13 @@ impl NeuralCache {
     #[must_use]
     pub fn serve(&self, model: &nc_dnn::Model, requests: usize) -> ServingReport {
         serve_requests(&self.config, model, requests)
+    }
+
+    /// Plans `model` once and returns the reusable batch costing the
+    /// serving stack (`nc-serve`) prices dynamic batches with.
+    #[must_use]
+    pub fn batch_cost_model(&self, model: &nc_dnn::Model) -> BatchCostModel {
+        BatchCostModel::new(&self.config, model)
     }
 
     /// Energy/power of a timed inference (Table III).

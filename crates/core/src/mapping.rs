@@ -258,8 +258,14 @@ pub struct ConvMapping {
     /// Fraction of multiplier-bit rounds elided under
     /// [`SparsityMode::SkipZeroRows`], computed from the sub-layer's real
     /// weights on this mapping's lane packing (0 when planning densely or
-    /// without weights).
+    /// without weights). This is the per-bank-FSM (mean over arrays)
+    /// variant the executors realize.
     pub simd_skip_fraction: f64,
+    /// Skip fraction under lockstep banks (all banks share one FSM): a
+    /// round is elidable only when zero across **every** array, so the MAC
+    /// phase is the max over arrays. Always `<= simd_skip_fraction`; 0 when
+    /// planning densely or without weights.
+    pub lockstep_skip_fraction: f64,
     /// Word-line budget of one lane.
     pub rows: RowBudget,
 }
@@ -549,13 +555,14 @@ fn plan_conv_unit(
         ROWS
     );
 
-    // Weight-sparsity round elision: measured on this exact lane packing.
-    let simd_skip_fraction = match mode {
-        SparsityMode::Dense => 0.0,
+    // Weight-sparsity round elision: both hardware variants measured on
+    // this exact lane packing (per-bank mean, lockstep max-over-arrays).
+    let (simd_skip_fraction, lockstep_skip_fraction) = match mode {
         SparsityMode::SkipZeroRows if conv.weights.is_some() => {
-            crate::sparsity::conv_skip_profile(conv).fraction()
+            let v = crate::sparsity::conv_skip_variants(conv);
+            (v.mean, v.lockstep)
         }
-        SparsityMode::SkipZeroRows => 0.0,
+        SparsityMode::Dense | SparsityMode::SkipZeroRows => (0.0, 0.0),
     };
 
     ConvMapping {
@@ -578,6 +585,7 @@ fn plan_conv_unit(
         cross_array_steps,
         fresh_input_fraction: fresh_fraction(spec.r, stride),
         simd_skip_fraction,
+        lockstep_skip_fraction,
         rows,
     }
 }

@@ -69,17 +69,42 @@ impl SkipProfile {
     }
 }
 
-/// Measures the SIMD skip profile of one convolution on the exact lane
-/// packing the mapper/executor realize: filters are chunked per lane
-/// ([`chunk_filter`]), grouped `groups_per_array` at a time, and a round
-/// `(m-block, array, tap, bit)` is elidable only when that bit is zero on
-/// **every** live lane of the array.
+/// The two hardware realizations of round skipping, measured on one
+/// convolution's real lane packing:
 ///
-/// # Panics
-///
-/// Panics if the sub-layer is shape-only.
-#[must_use]
-pub fn conv_skip_profile(conv: &Conv2d) -> SkipProfile {
+/// - **mean (per-bank FSMs)**: every bank advances through its own round
+///   schedule between reduction barriers, so each array skips its own
+///   all-lanes-zero rounds independently; the MAC phase shrinks by the
+///   rounds-weighted *mean* skip fraction (the execution model PR 3 wired
+///   in).
+/// - **lockstep (max-over-arrays)**: all banks share one FSM and step the
+///   same `(tap, bit)` schedule together, so a round is elidable only when
+///   it is zero on every live lane of **every** array — the MAC phase is
+///   the *max* over arrays, i.e. the global-OR skip fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkipVariants {
+    /// Per-bank-FSM (independent arrays) skip fraction: the rounds-weighted
+    /// mean over `(m-block, array)` groups. Equals
+    /// [`SkipProfile::fraction`].
+    pub mean: f64,
+    /// Lockstep-bank skip fraction: rounds elidable across **all** arrays
+    /// simultaneously (always `<= mean`).
+    pub lockstep: f64,
+}
+
+impl SkipVariants {
+    /// Absolute spread between the variants (mean minus lockstep): how much
+    /// skip opportunity lockstep banking forfeits.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        self.mean - self.lockstep
+    }
+}
+
+/// Shared walk over the `(m-block, array, tap)` OR masks of a convolution's
+/// lane packing: returns the per-array totals plus the global (lockstep) OR
+/// per tap.
+fn skip_masks(conv: &Conv2d) -> (SkipProfile, SkipVariants) {
     let spec = &conv.spec;
     assert!(conv.weights.is_some(), "skip profile needs weights");
     let geom = conv_lane_geometry(spec);
@@ -87,6 +112,9 @@ pub fn conv_skip_profile(conv: &Conv2d) -> SkipProfile {
 
     let mut skippable = 0u64;
     let mut total = 0u64;
+    // Lockstep banks share one FSM: a round (tap, bit) is elidable only if
+    // zero across every array of every m-block, i.e. in the global OR.
+    let mut global_or = vec![0u8; geom.eff_window];
     let mut m = 0;
     while m < spec.m {
         let group_count = groups_per_array.min(spec.m - m);
@@ -108,14 +136,51 @@ pub fn conv_skip_profile(conv: &Conv2d) -> SkipProfile {
                 // DATA_BITS = 8 = u8::BITS: every zero bit of the OR mask
                 // is one elidable round.
                 skippable += u64::from(or_mask.count_zeros());
+                global_or[t] |= or_mask;
             }
         }
         m += group_count;
     }
-    SkipProfile {
+    let profile = SkipProfile {
         skippable_rounds: skippable,
         total_rounds: total,
-    }
+    };
+    let lockstep_zeros: u64 = global_or.iter().map(|&m| u64::from(m.count_zeros())).sum();
+    let lockstep_total = (geom.eff_window * DATA_BITS) as u64;
+    let variants = SkipVariants {
+        mean: profile.fraction(),
+        lockstep: if lockstep_total == 0 {
+            0.0
+        } else {
+            lockstep_zeros as f64 / lockstep_total as f64
+        },
+    };
+    (profile, variants)
+}
+
+/// Measures the SIMD skip profile of one convolution on the exact lane
+/// packing the mapper/executor realize: filters are chunked per lane
+/// ([`chunk_filter`]), grouped `groups_per_array` at a time, and a round
+/// `(m-block, array, tap, bit)` is elidable only when that bit is zero on
+/// **every** live lane of the array.
+///
+/// # Panics
+///
+/// Panics if the sub-layer is shape-only.
+#[must_use]
+pub fn conv_skip_profile(conv: &Conv2d) -> SkipProfile {
+    skip_masks(conv).0
+}
+
+/// Measures both skip-time variants (per-bank mean and lockstep
+/// max-over-arrays) of one convolution on its real lane packing.
+///
+/// # Panics
+///
+/// Panics if the sub-layer is shape-only.
+#[must_use]
+pub fn conv_skip_variants(conv: &Conv2d) -> SkipVariants {
+    skip_masks(conv).1
 }
 
 /// Sparsity statistics of one convolution sub-layer's weights.
@@ -369,6 +434,68 @@ mod tests {
             (profile.fraction() - 0.75).abs() < 1e-9,
             "got {}",
             profile.fraction()
+        );
+    }
+
+    #[test]
+    fn lockstep_variant_never_beats_the_per_bank_mean() {
+        for seed in [1u64, 5, 11] {
+            let conv = prune_conv(
+                random_conv("v", (3, 3), 8, 4, 1, Padding::Same, true, seed),
+                3,
+                0.5,
+                seed,
+            );
+            let v = conv_skip_variants(&conv);
+            assert!(
+                v.lockstep <= v.mean + 1e-12,
+                "lockstep {} > mean {}",
+                v.lockstep,
+                v.mean
+            );
+            assert!(v.spread() >= -1e-12);
+            assert!((v.mean - conv_skip_profile(&conv).fraction()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_bit_pruning_gives_zero_spread() {
+        // keep_bits = 2 with no magnitude pruning: every lane's top six
+        // bit-slices are zero, so per-bank and lockstep agree exactly.
+        let conv = prune_conv(
+            random_conv("u", (3, 3), 8, 4, 1, Padding::Same, true, 3),
+            2,
+            0.0,
+            7,
+        );
+        let v = conv_skip_variants(&conv);
+        assert!((v.mean - 0.75).abs() < 1e-9);
+        assert!((v.lockstep - 0.75).abs() < 1e-9);
+        assert!(v.spread().abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_pruning_opens_a_spread_on_multi_array_layers() {
+        // Near-total magnitude pruning leaves some arrays with an all-zero
+        // low bit-slice while others keep a survivor: those arrays can skip
+        // rounds the global OR cannot, so mean > lockstep. (Each array ORs
+        // ~256 lanes, so moderate pruning saturates every array alike.)
+        let conv = prune_conv(
+            random_conv("s", (3, 3), 16, 64, 1, Padding::Same, true, 9),
+            2,
+            0.99,
+            9,
+        );
+        let v = conv_skip_variants(&conv);
+        assert!(
+            v.mean > v.lockstep,
+            "aggressive pruning must differentiate arrays: mean {} lockstep {}",
+            v.mean,
+            v.lockstep
+        );
+        assert!(
+            v.lockstep >= 0.75 - 1e-9,
+            "bit pruning still skips globally"
         );
     }
 

@@ -132,6 +132,13 @@ pub struct LayerTiming {
     /// MAC cycles elided by [`crate::SparsityMode::SkipZeroRows`] (0 under
     /// dense execution); already excluded from `compute_cycles`.
     pub mac_saved_cycles: u64,
+    /// MAC cycles of the layer under the per-bank-FSM skip variant (what
+    /// the phase breakdown charges): the mean skip fraction over arrays.
+    pub mac_cycles: u64,
+    /// MAC cycles under the lockstep-bank skip variant (all banks share
+    /// one FSM, so the MAC phase is the max over arrays). Equal to
+    /// `mac_cycles` under dense execution; otherwise `>= mac_cycles`.
+    pub mac_cycles_lockstep: u64,
     /// Average fraction of compute arrays active during compute phases.
     pub active_fraction: f64,
     /// Bytes streamed over the interconnect (inputs + outputs).
@@ -145,6 +152,19 @@ impl LayerTiming {
     #[must_use]
     pub fn total(&self) -> SimTime {
         self.phases.total()
+    }
+
+    /// Relative MAC-phase spread between the skip-time variants:
+    /// `(lockstep - mean) / mean` — the extra MAC time lockstep banks pay
+    /// over per-bank FSMs (0 under dense execution or when the layer has no
+    /// MAC work).
+    #[must_use]
+    pub fn skip_time_spread(&self) -> f64 {
+        if self.mac_cycles == 0 {
+            0.0
+        } else {
+            (self.mac_cycles_lockstep as f64 - self.mac_cycles as f64) / self.mac_cycles as f64
+        }
     }
 }
 
@@ -274,6 +294,8 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
     let mut rounds_total = 0usize;
     let mut compute_cycles = 0u64;
     let mut mac_saved_cycles = 0u64;
+    let mut mac_cycles = 0u64;
+    let mut mac_cycles_lockstep = 0u64;
     let mut active_weighted = 0.0f64;
     let mut streamed_bytes = 0usize;
     let mut dram_bytes = 0usize;
@@ -291,8 +313,12 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
     for unit in &plan.units {
         match unit {
             UnitPlan::Conv(c) => {
-                let (cycles_mac, cycles_saved, cycles_red, cycles_quant) = conv_cycles(cost, c);
+                let cycles = conv_cycles(cost, c);
+                let (cycles_mac, cycles_saved, cycles_red, cycles_quant) =
+                    (cycles.mac, cycles.saved, cycles.reduce, cycles.quant);
                 mac_saved_cycles += cycles_saved;
+                mac_cycles += cycles_mac;
+                mac_cycles_lockstep += cycles.mac_lockstep;
                 phases.add(Phase::Mac, SimTime::from_cycles(cycles_mac, freq));
                 phases.add(Phase::Reduce, SimTime::from_cycles(cycles_red, freq));
                 phases.add(Phase::Quantize, SimTime::from_cycles(cycles_quant, freq));
@@ -384,22 +410,43 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
         rounds: rounds_total,
         compute_cycles,
         mac_saved_cycles,
+        mac_cycles,
+        mac_cycles_lockstep,
         active_fraction,
         streamed_bytes,
         dram_bytes,
     }
 }
 
-/// (MAC, MAC-saved, reduction, quantization) cycles of one convolution
-/// unit. Under `SkipZeroRows` the MAC phase shrinks by the mapping's
-/// measured skip fraction (per-bank FSMs advance through their own round
+/// Cycle costs of one convolution unit under both skip-time variants.
+struct ConvCycles {
+    /// MAC cycles under the per-bank-FSM (mean skip) variant — what the
+    /// phase breakdown charges.
+    mac: u64,
+    /// MAC cycles under the lockstep-bank (max-over-arrays) variant.
+    mac_lockstep: u64,
+    /// Dense-minus-mean MAC cycles elided by round skipping.
+    saved: u64,
+    /// Reduction cycles.
+    reduce: u64,
+    /// Ranging/requantization cycles.
+    quant: u64,
+}
+
+/// Cycles of one convolution unit. Under `SkipZeroRows` the MAC phase
+/// shrinks by the mapping's measured skip fraction. The phase-level model
+/// is the **per-bank-FSM** variant (banks advance through their own round
 /// schedules between reduction barriers, and filters of one sub-layer are
-/// pruned uniformly, so the mean skip fraction is the phase-level model).
-fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> (u64, u64, u64, u64) {
+/// pruned uniformly, so the mean skip fraction applies); the
+/// **lockstep-bank** variant (one FSM steps every bank, so only globally
+/// zero rounds skip) is computed alongside to quantify the spread.
+fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> ConvCycles {
     let rounds = c.rounds as u64;
     let serial_macs = rounds * c.eff_window as u64;
     let mac_dense = serial_macs * cost.mac_cycles();
     let mac = (serial_macs as f64 * cost.mac_cycles_sparse(c.simd_skip_fraction)).round() as u64;
+    let mac_lockstep =
+        (serial_macs as f64 * cost.mac_cycles_sparse(c.lockstep_skip_fraction)).round() as u64;
     let saved = mac_dense.saturating_sub(mac);
     let reduce = rounds
         * (cost.reduction_setup_cycles()
@@ -408,7 +455,13 @@ fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> (u64, u64, u64, u64)
     let quant = rounds * cost.requant_cycles()
         + cost.minmax_tree_cycles(nc_sram::COLS)
         + CROSS_SLICE_MINMAX_CYCLES;
-    (mac, saved, reduce, quant)
+    ConvCycles {
+        mac,
+        mac_lockstep,
+        saved,
+        reduce,
+        quant,
+    }
 }
 
 /// Pooling cycles of one pooling unit.
@@ -559,6 +612,61 @@ mod tests {
             }
         }
         assert!(sparse.total() < dense.total());
+    }
+
+    #[test]
+    fn lockstep_variant_reports_per_layer_spread() {
+        use crate::sparsity::SparsityMode;
+        use nc_dnn::workload::{prune_conv, random_conv, single_conv_model};
+        use nc_dnn::{Padding, Shape};
+        // Near-total magnitude pruning differentiates arrays (moderate
+        // pruning saturates every ~256-lane OR alike, giving zero spread).
+        let conv = prune_conv(
+            random_conv("spread", (3, 3), 16, 64, 1, Padding::Same, true, 9),
+            2,
+            0.99,
+            9,
+        );
+        let model = single_conv_model(conv, Shape::new(12, 12, 16));
+        // Dense: both variants degenerate to the same dense MAC cycles.
+        let dense = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+        for l in &dense.layers {
+            assert_eq!(l.mac_cycles, l.mac_cycles_lockstep, "{}", l.name);
+            assert_eq!(l.skip_time_spread(), 0.0, "{}", l.name);
+        }
+        // Skipping: lockstep pays at least the per-bank mean, and the MAC
+        // phase charged in the breakdown is the per-bank variant.
+        let sparse = time_inference(
+            &SystemConfig::with_sparsity(SparsityMode::SkipZeroRows),
+            &model,
+        );
+        let freq = SystemConfig::xeon_e5_2697_v3().timings.compute_freq_hz;
+        let mut any_spread = false;
+        for l in &sparse.layers {
+            assert!(
+                l.mac_cycles_lockstep >= l.mac_cycles,
+                "{}: lockstep {} < mean {}",
+                l.name,
+                l.mac_cycles_lockstep,
+                l.mac_cycles
+            );
+            assert!(l.skip_time_spread() >= 0.0);
+            any_spread |= l.skip_time_spread() > 0.0;
+            let phase_cycles = (l.phases.get(Phase::Mac).as_secs_f64() * freq).round() as u64;
+            assert_eq!(
+                phase_cycles, l.mac_cycles,
+                "{}: phase charges the mean",
+                l.name
+            );
+        }
+        assert!(
+            any_spread,
+            "magnitude-pruned inception must show a lockstep spread somewhere"
+        );
+        // Lockstep still beats dense (uniform bit pruning skips globally).
+        let dense_mac: u64 = dense.layers.iter().map(|l| l.mac_cycles).sum();
+        let lockstep_mac: u64 = sparse.layers.iter().map(|l| l.mac_cycles_lockstep).sum();
+        assert!(lockstep_mac < dense_mac, "lockstep skipping still helps");
     }
 
     #[test]

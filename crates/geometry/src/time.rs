@@ -87,6 +87,12 @@ impl SimTime {
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
     }
+
+    /// Smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
 }
 
 impl Add for SimTime {
@@ -182,6 +188,7 @@ mod tests {
         let total: SimTime = [a, b, b].into_iter().sum();
         assert_eq!(total.as_millis_f64(), 4.0);
         assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Dynamic batching policies: how the admission queue turns waiting
+//! requests into dispatched batches, costed through the plan-once
+//! [`BatchCostModel`].
+
+use nc_geometry::SimTime;
+use neural_cache::BatchCostModel;
+
+/// A batch-formation policy evaluated whenever a slice is free and the
+/// queue is non-empty (and re-evaluated at its own requested deadlines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Wait until exactly `size` requests queue, then dispatch them
+    /// (classic fixed-size batching; the tail of a draining trace
+    /// dispatches short).
+    Fixed {
+        /// Batch size to accumulate.
+        size: usize,
+    },
+    /// Dispatch `max_batch` as soon as they queue, or whatever has queued
+    /// once the oldest request has waited `max_wait` (timeout batching).
+    MaxWait {
+        /// Largest batch to form.
+        max_batch: usize,
+        /// Longest the oldest request may wait before a forced dispatch.
+        max_wait: SimTime,
+    },
+    /// Work-conserving SLO-aware adaptive sizing: dispatch immediately
+    /// whenever a slice is free, choosing the largest batch (up to
+    /// `max_batch`) whose estimated completion still meets the oldest
+    /// request's latency SLO (the `ServeConfig::slo` budget handed to
+    /// [`BatchPolicy::decide`] — one SLO, no duplicated copy to drift);
+    /// when even a single-image batch would miss, salvage throughput with
+    /// a full batch. Batch sizes grow with load and shrink back when the
+    /// queue drains.
+    SloAdaptive {
+        /// Largest batch to form.
+        max_batch: usize,
+    },
+}
+
+/// What the policy wants done at this evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchDecision {
+    /// Dispatch the first `n` queued requests now.
+    Dispatch(usize),
+    /// Hold, and re-evaluate no later than the given time (a timer event).
+    WaitUntil(SimTime),
+    /// Hold until the next arrival or completion.
+    Wait,
+}
+
+impl BatchPolicy {
+    /// Largest batch this policy ever forms.
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Fixed { size } => size,
+            BatchPolicy::MaxWait { max_batch, .. } | BatchPolicy::SloAdaptive { max_batch, .. } => {
+                max_batch
+            }
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchPolicy::Fixed { .. } => "fixed",
+            BatchPolicy::MaxWait { .. } => "max-wait",
+            BatchPolicy::SloAdaptive { .. } => "slo-adaptive",
+        }
+    }
+
+    /// Policy decision given the queue state: `queued` requests waiting,
+    /// the overall-oldest arrival among them, whether the trace is
+    /// draining (no further arrivals can ever come, so holding out for a
+    /// fuller batch is pointless), whether the candidate slice is `cold`
+    /// (its first batch pays the one-time filter load, which the SLO-aware
+    /// policy must price into feasibility), and the base latency `slo`
+    /// budget from `ServeConfig` (only [`BatchPolicy::SloAdaptive`]
+    /// consults it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with an empty queue.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one flat scheduler-state snapshot
+    pub fn decide(
+        &self,
+        now: SimTime,
+        queued: usize,
+        oldest_arrival: SimTime,
+        draining: bool,
+        cold: bool,
+        slo: SimTime,
+        cost: &BatchCostModel,
+    ) -> BatchDecision {
+        assert!(queued > 0, "policy evaluated on an empty queue");
+        match *self {
+            BatchPolicy::Fixed { size } => {
+                let size = size.max(1);
+                if queued >= size {
+                    BatchDecision::Dispatch(size)
+                } else if draining {
+                    BatchDecision::Dispatch(queued)
+                } else {
+                    BatchDecision::Wait
+                }
+            }
+            BatchPolicy::MaxWait {
+                max_batch,
+                max_wait,
+            } => {
+                let max_batch = max_batch.max(1);
+                let deadline = oldest_arrival + max_wait;
+                if queued >= max_batch {
+                    BatchDecision::Dispatch(max_batch)
+                } else if now >= deadline || draining {
+                    BatchDecision::Dispatch(queued)
+                } else {
+                    BatchDecision::WaitUntil(deadline)
+                }
+            }
+            BatchPolicy::SloAdaptive { max_batch } => {
+                let cap = max_batch.max(1).min(queued);
+                let wait = now - oldest_arrival.min(now);
+                // Largest batch whose service on *this* slice (cold pays
+                // the filter load) still meets the oldest request's SLO;
+                // service time is monotone in batch size, so binary-search
+                // the feasibility boundary.
+                let feasible = |b: usize| wait + cost.service_time(b, cold) <= slo;
+                let mut pick = 0;
+                let (mut lo, mut hi) = (1, cap);
+                while lo <= hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if feasible(mid) {
+                        pick = mid;
+                        lo = mid + 1;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                if pick == 0 {
+                    // Even a single image misses: salvage throughput.
+                    pick = cap;
+                }
+                BatchDecision::Dispatch(pick)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::inception::inception_v3;
+    use neural_cache::SystemConfig;
+
+    fn cost() -> BatchCostModel {
+        BatchCostModel::new(&SystemConfig::xeon_e5_2697_v3(), &inception_v3())
+    }
+
+    /// Base latency budget handed to every `decide` call (the
+    /// `ServeConfig::slo` stand-in).
+    fn base_slo() -> SimTime {
+        SimTime::from_millis(100.0)
+    }
+
+    #[test]
+    fn fixed_waits_for_a_full_batch_unless_draining() {
+        let p = BatchPolicy::Fixed { size: 8 };
+        let c = cost();
+        let t = SimTime::from_secs(1.0);
+        assert_eq!(
+            p.decide(t, 3, t, false, false, base_slo(), &c),
+            BatchDecision::Wait
+        );
+        assert_eq!(
+            p.decide(t, 8, t, false, false, base_slo(), &c),
+            BatchDecision::Dispatch(8)
+        );
+        assert_eq!(
+            p.decide(t, 12, t, false, false, base_slo(), &c),
+            BatchDecision::Dispatch(8)
+        );
+        assert_eq!(
+            p.decide(t, 3, t, true, false, base_slo(), &c),
+            BatchDecision::Dispatch(3)
+        );
+        assert_eq!(p.max_batch(), 8);
+    }
+
+    #[test]
+    fn max_wait_times_out_the_oldest_request() {
+        let p = BatchPolicy::MaxWait {
+            max_batch: 16,
+            max_wait: SimTime::from_millis(5.0),
+        };
+        let c = cost();
+        let arrived = SimTime::from_secs(1.0);
+        let deadline = arrived + SimTime::from_millis(5.0);
+        assert_eq!(
+            p.decide(
+                SimTime::from_secs(1.001),
+                4,
+                arrived,
+                false,
+                false,
+                base_slo(),
+                &c
+            ),
+            BatchDecision::WaitUntil(deadline)
+        );
+        assert_eq!(
+            p.decide(deadline, 4, arrived, false, false, base_slo(), &c),
+            BatchDecision::Dispatch(4)
+        );
+        assert_eq!(
+            p.decide(
+                SimTime::from_secs(1.001),
+                16,
+                arrived,
+                false,
+                false,
+                base_slo(),
+                &c
+            ),
+            BatchDecision::Dispatch(16)
+        );
+        assert_eq!(
+            p.decide(
+                SimTime::from_secs(1.001),
+                2,
+                arrived,
+                true,
+                false,
+                base_slo(),
+                &c
+            ),
+            BatchDecision::Dispatch(2)
+        );
+    }
+
+    #[test]
+    fn slo_adaptive_prices_the_cold_filter_load() {
+        let c = cost();
+        let p = BatchPolicy::SloAdaptive { max_batch: 64 };
+        let now = SimTime::from_secs(2.0);
+        let pick = |cold: bool| match p.decide(now, 64, now, false, cold, base_slo(), &c) {
+            BatchDecision::Dispatch(n) => n,
+            other => panic!("adaptive policy always dispatches, got {other:?}"),
+        };
+        let (warm, cold) = (pick(false), pick(true));
+        assert!(
+            cold < warm,
+            "a cold slice must shrink the feasible batch: cold {cold} vs warm {warm}"
+        );
+        assert!(
+            c.service_time(cold, true) <= base_slo(),
+            "cold pick meets the SLO"
+        );
+    }
+
+    #[test]
+    fn slo_adaptive_grows_batches_within_the_budget() {
+        let c = cost();
+        let p = BatchPolicy::SloAdaptive { max_batch: 64 };
+        let now = SimTime::from_secs(2.0);
+        // Fresh queue: pick the largest batch meeting the SLO from now.
+        let BatchDecision::Dispatch(fresh) = p.decide(now, 64, now, false, false, base_slo(), &c)
+        else {
+            panic!("adaptive policy always dispatches");
+        };
+        assert!(fresh >= 1);
+        assert!(c.service_time(fresh, false) <= base_slo());
+        if fresh < 64 {
+            assert!(
+                c.service_time(fresh + 1, false) > base_slo(),
+                "largest feasible"
+            );
+        }
+        // An old queue shrinks the pick.
+        let aged = now - SimTime::from_millis(60.0);
+        let BatchDecision::Dispatch(old_pick) =
+            p.decide(now, 64, aged, false, false, base_slo(), &c)
+        else {
+            panic!("adaptive policy always dispatches");
+        };
+        assert!(old_pick <= fresh);
+        // A hopeless SLO salvages throughput with the full cap.
+        let p_tight = BatchPolicy::SloAdaptive { max_batch: 4 };
+        assert_eq!(
+            p_tight.decide(now, 10, aged, false, false, SimTime::from_millis(0.001), &c),
+            BatchDecision::Dispatch(4)
+        );
+        // Queue shorter than the cap bounds the pick.
+        let BatchDecision::Dispatch(n) = p.decide(now, 2, now, false, false, base_slo(), &c) else {
+            panic!("adaptive policy always dispatches");
+        };
+        assert!(n <= 2);
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`geometry`] (`nc-geometry`): cache geometry, interconnect and DRAM models,
 //! - [`dnn`] (`nc-dnn`): quantized DNN layers, reference executor, Inception v3,
 //! - [`cache`] (`neural-cache`): the Neural Cache mapping + execution engine,
+//! - [`serve`] (`nc-serve`): the discrete-event serving simulator (arrival
+//!   traces, dynamic batching, latency SLOs),
 //! - [`baselines`] (`nc-baselines`): calibrated CPU/GPU comparison models.
 //!
 //! # Examples
@@ -25,5 +27,6 @@
 pub use nc_baselines as baselines;
 pub use nc_dnn as dnn;
 pub use nc_geometry as geometry;
+pub use nc_serve as serve;
 pub use nc_sram as sram;
 pub use neural_cache as cache;

@@ -121,6 +121,32 @@ fn serving_driver_scales_with_sockets_and_stays_deterministic() {
 }
 
 #[test]
+fn discrete_event_serving_simulator_end_to_end() {
+    use neural_cache_repro::serve::{simulate, BatchPolicy, ServeConfig, TraceConfig};
+    let model = inception_v3();
+    let config = ServeConfig {
+        policy: BatchPolicy::SloAdaptive { max_batch: 32 },
+        ..ServeConfig::default_two_slice()
+    };
+    // Underloaded Poisson traffic: everything completes within the SLO.
+    let calm = simulate(&config, &model, &TraceConfig::poisson(150.0, 100, 2018));
+    assert!(calm.summary.conservation_holds());
+    assert_eq!(calm.summary.completed, 100);
+    assert_eq!(calm.summary.slo_violations, 0);
+    assert!(calm.summary.p99_ms < 100.0);
+    // Overload drives queueing, bigger batches and SLO violations, but the
+    // invariants still hold.
+    let hot = simulate(&config, &model, &TraceConfig::poisson(2000.0, 200, 2018));
+    assert!(hot.summary.conservation_holds());
+    assert!(hot.summary.goodput_bounded());
+    assert!(hot.summary.mean_batch > calm.summary.mean_batch);
+    assert!(hot.summary.p99_ms > calm.summary.p99_ms);
+    // Deterministic: the facade path reproduces itself byte-for-byte.
+    let again = simulate(&config, &model, &TraceConfig::poisson(2000.0, 200, 2018));
+    assert_eq!(hot.trace.to_log(), again.trace.to_log());
+}
+
+#[test]
 fn worked_example_conv2d_2b() {
     // Section VI-A's fully worked example, end to end.
     let system = NeuralCache::new(SystemConfig::xeon_e5_2697_v3());
