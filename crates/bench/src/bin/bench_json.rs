@@ -2,9 +2,11 @@
 //! functional executor on the Inception v3 proxy workloads, the
 //! dense-vs-pruned sparsity section (simulated cycles, wall times, the
 //! predicted-vs-executed skip cross-check, and the per-bank vs lockstep
-//! skip-variant spread), and the `nc-serve` serving section (offered-load
-//! sweep, trace/policy matrix, latency percentiles), for CI to upload as a
-//! per-PR perf artifact.
+//! skip-variant spread), the activation-sparsity section (dense vs
+//! ReLU-sparse cycles under the dynamic input-bit skip modes and the
+//! detect-overhead break-even), and the `nc-serve` serving section
+//! (offered-load sweep, trace/policy matrix, latency percentiles), for CI
+//! to upload as a per-PR perf artifact.
 //!
 //! ```bash
 //! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json
@@ -13,9 +15,13 @@
 //! Exits non-zero if the threaded backend fails to reproduce the
 //! sequential outputs/cycles exactly, if `SparsityMode::SkipZeroRows`
 //! diverges from dense output bytes or from the analytical skip fraction,
-//! or if the serving sanity gate fails (request conservation, latency
-//! monotone in offered load, goodput bounded by offered load, engine
-//! byte-identity), so the CI bench job doubles as a determinism gate.
+//! if the activation-sparsity gate fails (dynamic modes not bit-identical
+//! to dense, executed input-skip counters disagreeing with
+//! `sparsity::activation_profile`, or a ReLU-sparse model failing to show a
+//! net MAC-phase speedup after the 1-cycle/round detect charge), or if the
+//! serving sanity gate fails (request conservation, latency monotone in
+//! offered load, goodput bounded by offered load, engine byte-identity),
+//! so the CI bench job doubles as a determinism gate.
 
 use std::process::ExitCode;
 
@@ -37,8 +43,15 @@ fn main() -> ExitCode {
 
     let comparisons = nc_bench::perf::compare_engines(threads, reps);
     let sparsity = nc_bench::perf::compare_sparsity(reps);
+    let activation = nc_bench::perf::compare_activation_sparsity(reps);
     let serving = nc_bench::serving::run_serving_bench(threads);
-    let json = nc_bench::perf::render_json_all(&comparisons, &sparsity, Some(&serving), threads);
+    let json = nc_bench::perf::render_json_all(
+        &comparisons,
+        &sparsity,
+        &activation,
+        Some(&serving),
+        threads,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_functional.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
@@ -49,6 +62,9 @@ fn main() -> ExitCode {
     let sparsity_ok = sparsity
         .iter()
         .all(nc_bench::perf::SparsityComparison::verified);
+    let activation_ok = activation
+        .iter()
+        .all(nc_bench::perf::ActivationComparison::verified);
     let serving_ok = serving.verified();
     if !engines_ok {
         eprintln!("FAIL: threaded backend diverged from sequential");
@@ -56,13 +72,33 @@ fn main() -> ExitCode {
     if !sparsity_ok {
         eprintln!("FAIL: round skipping diverged from dense or from the analytical skip fraction");
     }
+    if !activation_ok {
+        eprintln!(
+            "FAIL: activation sparsity gate (dynamic modes must stay bit-identical, match \
+             the activation_profile prediction exactly, and net a MAC speedup on ReLU-sparse \
+             inputs after the 1-cycle/round detect charge)"
+        );
+        for a in &activation {
+            if !a.verified() {
+                eprintln!(
+                    "  - {}: executed skip {:.4} vs predicted {:.4}, net MAC speedup {:.3}, \
+                     bit_identical {}",
+                    a.name,
+                    a.executed_input_skip_fraction,
+                    a.predicted_input_skip_fraction,
+                    a.mac_speedup(),
+                    a.bit_identical
+                );
+            }
+        }
+    }
     if !serving_ok {
         eprintln!("FAIL: serving sanity gate");
         for f in serving.gate_failures() {
             eprintln!("  - {f}");
         }
     }
-    if engines_ok && sparsity_ok && serving_ok {
+    if engines_ok && sparsity_ok && activation_ok && serving_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

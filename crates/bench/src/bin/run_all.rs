@@ -25,6 +25,7 @@ fn main() {
         ("== Figure 15 ==", nc_bench::fig15()),
         ("== Figure 16 ==", nc_bench::fig16()),
         ("== Sparsity ==", nc_bench::sparsity()),
+        ("== Activation sparsity ==", nc_bench::activation_sparsity()),
         ("== Serving ==", nc_bench::serving_under_load()),
         ("== Headlines ==", nc_bench::headlines()),
     ] {

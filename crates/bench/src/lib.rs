@@ -489,6 +489,44 @@ pub fn sparsity_with(comparisons: &[perf::SparsityComparison]) -> String {
     out
 }
 
+/// Activation-sparsity artifact: dynamic input-bit round skipping
+/// (ROADMAP's input-activation item) — dense vs ReLU-sparse executed
+/// cycles under `SkipZeroInputs`/`SkipBoth`, the per-round wired-NOR
+/// detect charge, and the break-even on dense activations.
+#[must_use]
+pub fn activation_sparsity() -> String {
+    activation_sparsity_with(&perf::compare_activation_sparsity(1))
+}
+
+/// [`activation_sparsity`] rendered from precomputed comparisons.
+#[must_use]
+pub fn activation_sparsity_with(comparisons: &[perf::ActivationComparison]) -> String {
+    let mut out = String::from(
+        "Activation sparsity (dynamic input-bit round skipping, 1-cycle wired-NOR detect/round)\n",
+    );
+    for a in comparisons {
+        let _ = writeln!(
+            out,
+            "{:<24} input skip {:>5.1}% (predicted {:>5.1}%) | compute cycles {:.2}x | \
+             net MAC {:.2}x (SkipBoth {:.2}x) | detects {} | bit-identical: {}",
+            a.name,
+            100.0 * a.executed_input_skip_fraction,
+            100.0 * a.predicted_input_skip_fraction,
+            a.cycle_speedup(),
+            a.mac_speedup(),
+            a.mac_speedup_both(),
+            a.detect_cycles,
+            a.bit_identical
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(net = after the per-round detect charge; the dense-activation row shows the \
+         break-even's overhead side)"
+    );
+    out
+}
+
 /// Serving-under-load artifact: the `nc-serve` discrete-event simulator's
 /// offered-load sweep and trace/policy matrix (see [`serving`]), run on the
 /// engine selected by [`set_threads`].
@@ -553,6 +591,7 @@ mod tests {
             ("fig15", fig15()),
             ("fig16", fig16()),
             ("headlines", headlines()),
+            ("activation_sparsity", activation_sparsity()),
             ("serving", serving_under_load()),
         ] {
             assert!(text.lines().count() >= 3, "{name} too short:\n{text}");

@@ -20,11 +20,14 @@ use std::time::Instant;
 
 use nc_dnn::workload::{
     mini_inception, pruned_conv_model, pruned_inception, random_conv, random_input,
-    single_conv_model, tiny_cnn,
+    relu_sparse_conv_model, relu_sparse_input, relu_sparse_mini, single_conv_model, tiny_cnn,
 };
 use nc_dnn::{Model, Padding, QTensor, Shape};
 use neural_cache::functional::{self, run_model_configured, FunctionalResult};
-use neural_cache::{time_inference, ExecutionEngine, SparsityMode, SystemConfig};
+use neural_cache::sparsity::activation_profile;
+use neural_cache::{
+    time_inference, time_inference_with_profile, ExecutionEngine, SparsityMode, SystemConfig,
+};
 
 /// Sequential-vs-threaded wall-time comparison of one workload.
 #[derive(Debug, Clone)]
@@ -267,6 +270,195 @@ pub fn compare_sparsity(reps: usize) -> Vec<SparsityComparison> {
         .collect()
 }
 
+/// What a dynamic-sparsity workload is expected to demonstrate — the two
+/// sides of the detect-overhead break-even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationExpectation {
+    /// ReLU-sparse activations: the elided rounds must repay the 1-cycle
+    /// per-round detect with room to spare — a **net** MAC-phase speedup.
+    NetSpeedup,
+    /// Dense activations: almost nothing skips, so the detect charge must
+    /// show up as a MAC-phase *slowdown* (the break-even's other side).
+    Overhead,
+}
+
+/// Dense-vs-dynamic comparison of one workload under the input-activation
+/// skip modes: functional cycles and counters for `SkipZeroInputs` and
+/// `SkipBoth`, the `activation_profile` cross-check, and the timing-model
+/// MAC phase priced with the measured profile.
+#[derive(Debug, Clone)]
+pub struct ActivationComparison {
+    /// Workload name.
+    pub name: String,
+    /// Which break-even side this workload demonstrates.
+    pub expectation: ActivationExpectation,
+    /// Best-of-`reps` dense functional wall time, milliseconds.
+    pub dense_ms: f64,
+    /// Best-of-`reps` `SkipZeroInputs` functional wall time, milliseconds.
+    pub input_ms: f64,
+    /// Simulated compute cycles of the dense functional run.
+    pub dense_compute_cycles: u64,
+    /// Simulated compute cycles under `SkipZeroInputs` (detects included).
+    pub input_compute_cycles: u64,
+    /// Simulated compute cycles under `SkipBoth`.
+    pub both_compute_cycles: u64,
+    /// Wired-NOR detect cycles the `SkipZeroInputs` run charged.
+    pub detect_cycles: u64,
+    /// Multiplier-bit rounds scheduled.
+    pub mul_rounds: u64,
+    /// Input-bit rounds the detect elided.
+    pub input_rounds_skipped: u64,
+    /// `input_rounds_skipped / mul_rounds`.
+    pub executed_input_skip_fraction: f64,
+    /// `sparsity::activation_profile` prediction on the same input.
+    pub predicted_input_skip_fraction: f64,
+    /// Timing-model MAC cycles, dense mode.
+    pub timing_mac_cycles_dense: u64,
+    /// Timing-model MAC cycles, `SkipZeroInputs` with the measured profile
+    /// applied (detect overhead charged).
+    pub timing_mac_cycles_input: u64,
+    /// Timing-model MAC cycles, `SkipBoth` with the measured profile.
+    pub timing_mac_cycles_both: u64,
+    /// Whether both dynamic modes reproduced the dense bytes and records.
+    pub bit_identical: bool,
+}
+
+impl ActivationComparison {
+    /// Simulated compute-cycle speedup of `SkipZeroInputs` over dense in
+    /// the functional executor (below 1.0 when detects outweigh skips).
+    #[must_use]
+    pub fn cycle_speedup(&self) -> f64 {
+        self.dense_compute_cycles as f64 / self.input_compute_cycles as f64
+    }
+
+    /// Net timing-model MAC-phase speedup of `SkipZeroInputs`, detect
+    /// overhead included.
+    #[must_use]
+    pub fn mac_speedup(&self) -> f64 {
+        self.timing_mac_cycles_dense as f64 / self.timing_mac_cycles_input as f64
+    }
+
+    /// Net timing-model MAC-phase speedup of `SkipBoth`.
+    #[must_use]
+    pub fn mac_speedup_both(&self) -> f64 {
+        self.timing_mac_cycles_dense as f64 / self.timing_mac_cycles_both as f64
+    }
+
+    /// The acceptance gate: bit identity, exact predicted-vs-executed
+    /// agreement, one detect per scheduled round, and the workload's
+    /// break-even expectation (net speedup for ReLU-sparse activations,
+    /// visible overhead for dense ones).
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        let exact = (self.executed_input_skip_fraction - self.predicted_input_skip_fraction).abs()
+            <= SparsityComparison::SKIP_FRACTION_TOLERANCE;
+        let detect_per_round = self.detect_cycles == self.mul_rounds;
+        let expectation = match self.expectation {
+            ActivationExpectation::NetSpeedup => {
+                self.mac_speedup() > 1.0 && self.mac_speedup_both() >= self.mac_speedup() - 1e-12
+            }
+            ActivationExpectation::Overhead => {
+                self.timing_mac_cycles_input > self.timing_mac_cycles_dense
+            }
+        };
+        self.bit_identical && exact && detect_per_round && expectation
+    }
+}
+
+fn activation_workloads() -> Vec<(String, ActivationExpectation, Model, QTensor)> {
+    // ReLU-sparse single conv: 70% exact zeros, low-magnitude survivors —
+    // the regime the tag-latch detect exists for.
+    let conv = relu_sparse_conv_model(2018);
+    let sparse_in = relu_sparse_input(conv.input_shape, 0.7, 2, 7);
+    // The same conv fed fully dense activations: the break-even's far side
+    // (VALID padding, so no padding zeros rescue it).
+    let dense_in = relu_sparse_input(conv.input_shape, 0.0, 8, 7);
+    // Multi-layer: mini-Inception consuming a ReLU-sparse input; interior
+    // activations re-densify, so this measures the whole-network blend.
+    let mini = relu_sparse_mini(2018);
+    let mini_in = relu_sparse_input(mini.input_shape, 0.6, 3, 8);
+    vec![
+        (
+            "relu_sparse_conv".to_owned(),
+            ActivationExpectation::NetSpeedup,
+            conv.clone(),
+            sparse_in,
+        ),
+        (
+            "dense_acts_break_even".to_owned(),
+            ActivationExpectation::Overhead,
+            conv,
+            dense_in,
+        ),
+        (
+            "relu_sparse_mini".to_owned(),
+            ActivationExpectation::NetSpeedup,
+            mini,
+            mini_in,
+        ),
+    ]
+}
+
+/// Timing-model MAC cycles of `model` under `mode`, priced for the
+/// measured activation `profile` of one input.
+fn timing_mac_cycles_profiled(
+    model: &Model,
+    mode: SparsityMode,
+    profile: &neural_cache::ActivationProfile,
+) -> u64 {
+    let config = SystemConfig::with_sparsity(mode);
+    let report = time_inference_with_profile(&config, model, profile);
+    report.layers.iter().map(|l| l.mac_cycles).sum()
+}
+
+/// Runs the dynamic-sparsity workloads densely and under both input-skip
+/// modes (best of `reps` wall times), verifying bit identity, the
+/// per-round detect charge, and the `activation_profile` prediction
+/// against the executed counters.
+#[must_use]
+pub fn compare_activation_sparsity(reps: usize) -> Vec<ActivationComparison> {
+    activation_workloads()
+        .into_iter()
+        .map(|(name, expectation, model, input)| {
+            let (dense, dense_ms) = time_sparsity_runs(&model, &input, SparsityMode::Dense, reps);
+            let (inputs, input_ms) =
+                time_sparsity_runs(&model, &input, SparsityMode::SkipZeroInputs, reps);
+            let (both, _) = time_sparsity_runs(&model, &input, SparsityMode::SkipBoth, reps);
+            let profile = activation_profile(&model, &input);
+            let (dense_mac, _) = timing_mac_cycles(&model, SparsityMode::Dense);
+            ActivationComparison {
+                name,
+                expectation,
+                dense_ms,
+                input_ms,
+                dense_compute_cycles: dense.cycles.compute_cycles,
+                input_compute_cycles: inputs.cycles.compute_cycles,
+                both_compute_cycles: both.cycles.compute_cycles,
+                detect_cycles: inputs.cycles.detect_cycles,
+                mul_rounds: inputs.cycles.mul_rounds,
+                input_rounds_skipped: inputs.cycles.input_rounds_skipped,
+                executed_input_skip_fraction: inputs.cycles.input_skip_fraction(),
+                predicted_input_skip_fraction: profile.input_skip(),
+                timing_mac_cycles_dense: dense_mac,
+                timing_mac_cycles_input: timing_mac_cycles_profiled(
+                    &model,
+                    SparsityMode::SkipZeroInputs,
+                    &profile,
+                ),
+                timing_mac_cycles_both: timing_mac_cycles_profiled(
+                    &model,
+                    SparsityMode::SkipBoth,
+                    &profile,
+                ),
+                bit_identical: dense.output.data() == inputs.output.data()
+                    && dense.sublayers == inputs.sublayers
+                    && dense.output.data() == both.output.data()
+                    && dense.sublayers == both.sublayers,
+            }
+        })
+        .collect()
+}
+
 /// Renders the comparisons as the `BENCH_functional.json` document CI
 /// uploads as a workflow artifact.
 #[must_use]
@@ -281,15 +473,17 @@ pub fn render_json_full(
     sparsity: &[SparsityComparison],
     threads: usize,
 ) -> String {
-    render_json_all(comparisons, sparsity, None, threads)
+    render_json_all(comparisons, sparsity, &[], None, threads)
 }
 
 /// The full `BENCH_functional.json` document: engine comparisons, the
-/// sparsity section, and (when given) the `nc-serve` serving section.
+/// weight-sparsity section, the activation-sparsity section, and (when
+/// given) the `nc-serve` serving section.
 #[must_use]
 pub fn render_json_all(
     comparisons: &[EngineComparison],
     sparsity: &[SparsityComparison],
+    activation: &[ActivationComparison],
     serving: Option<&crate::serving::ServingBench>,
     threads: usize,
 ) -> String {
@@ -311,7 +505,7 @@ pub fn render_json_all(
         let comma = if i + 1 < comparisons.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    if sparsity.is_empty() && serving.is_none() {
+    if sparsity.is_empty() && activation.is_empty() && serving.is_none() {
         out.push_str("  ]\n}\n");
         return out;
     }
@@ -370,6 +564,81 @@ pub fn render_json_all(
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]");
+    if !activation.is_empty() {
+        out.push_str(",\n  \"activation_sparsity\": [\n");
+        for (i, a) in activation.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", a.name);
+            let _ = writeln!(
+                out,
+                "      \"expectation\": \"{}\",",
+                match a.expectation {
+                    ActivationExpectation::NetSpeedup => "net-speedup",
+                    ActivationExpectation::Overhead => "overhead",
+                }
+            );
+            let _ = writeln!(out, "      \"dense_ms\": {:.3},", a.dense_ms);
+            let _ = writeln!(out, "      \"input_ms\": {:.3},", a.input_ms);
+            let _ = writeln!(
+                out,
+                "      \"dense_compute_cycles\": {},",
+                a.dense_compute_cycles
+            );
+            let _ = writeln!(
+                out,
+                "      \"input_compute_cycles\": {},",
+                a.input_compute_cycles
+            );
+            let _ = writeln!(
+                out,
+                "      \"both_compute_cycles\": {},",
+                a.both_compute_cycles
+            );
+            let _ = writeln!(out, "      \"cycle_speedup\": {:.3},", a.cycle_speedup());
+            let _ = writeln!(out, "      \"detect_cycles\": {},", a.detect_cycles);
+            let _ = writeln!(out, "      \"mul_rounds\": {},", a.mul_rounds);
+            let _ = writeln!(
+                out,
+                "      \"input_rounds_skipped\": {},",
+                a.input_rounds_skipped
+            );
+            let _ = writeln!(
+                out,
+                "      \"executed_input_skip_fraction\": {:.6},",
+                a.executed_input_skip_fraction
+            );
+            let _ = writeln!(
+                out,
+                "      \"predicted_input_skip_fraction\": {:.6},",
+                a.predicted_input_skip_fraction
+            );
+            let _ = writeln!(
+                out,
+                "      \"timing_mac_cycles_dense\": {},",
+                a.timing_mac_cycles_dense
+            );
+            let _ = writeln!(
+                out,
+                "      \"timing_mac_cycles_input\": {},",
+                a.timing_mac_cycles_input
+            );
+            let _ = writeln!(
+                out,
+                "      \"timing_mac_cycles_both\": {},",
+                a.timing_mac_cycles_both
+            );
+            let _ = writeln!(out, "      \"net_mac_speedup\": {:.3},", a.mac_speedup());
+            let _ = writeln!(
+                out,
+                "      \"net_mac_speedup_both\": {:.3},",
+                a.mac_speedup_both()
+            );
+            let _ = writeln!(out, "      \"bit_identical\": {}", a.bit_identical);
+            let comma = if i + 1 < activation.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]");
+    }
     if let Some(bench) = serving {
         out.push_str(",\n");
         out.push_str(&crate::serving::render_json_section(bench));
@@ -438,5 +707,51 @@ mod tests {
         assert!(json.ends_with("}\n"));
         // The sparsity-free rendering stays backward compatible.
         assert!(!render_json(&engines, 2).contains("\"sparsity\""));
+    }
+
+    #[test]
+    fn activation_comparisons_verify_and_render() {
+        let comps = compare_activation_sparsity(1);
+        assert_eq!(comps.len(), 3);
+        for a in &comps {
+            assert!(a.verified(), "{} failed verification", a.name);
+            assert!(a.bit_identical, "{} diverged from dense", a.name);
+            assert_eq!(a.detect_cycles, a.mul_rounds, "{}", a.name);
+        }
+        let sparse = comps
+            .iter()
+            .find(|a| a.name == "relu_sparse_conv")
+            .expect("relu workload present");
+        assert!(
+            sparse.mac_speedup() > 1.3,
+            "ReLU-sparse net MAC speedup {:.2} after detect overhead",
+            sparse.mac_speedup()
+        );
+        assert!(sparse.input_rounds_skipped > 0);
+        assert!(sparse.cycle_speedup() > 1.0);
+        let dense = comps
+            .iter()
+            .find(|a| a.name == "dense_acts_break_even")
+            .expect("break-even workload present");
+        assert!(
+            dense.mac_speedup() < 1.0,
+            "dense activations must show the detect overhead: {:.3}",
+            dense.mac_speedup()
+        );
+        assert!(
+            dense.executed_input_skip_fraction < 0.05,
+            "dense activations barely skip"
+        );
+
+        let engines = compare_engines(2, 1);
+        let json = render_json_all(&engines, &[], &comps, None, 2);
+        assert!(json.contains("\"activation_sparsity\": ["));
+        assert!(json.contains("\"relu_sparse_conv\""));
+        assert!(json.contains("\"dense_acts_break_even\""));
+        assert!(json.contains("\"net_mac_speedup\""));
+        assert!(json.contains("\"expectation\": \"overhead\""));
+        assert!(json.ends_with("}\n"));
+        // Backward-compatible renderings omit the section.
+        assert!(!render_json_full(&engines, &[], 2).contains("activation_sparsity"));
     }
 }

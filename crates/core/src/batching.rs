@@ -95,6 +95,13 @@ impl BatchReport {
 pub struct BatchCostModel {
     filter_time: SimTime,
     per_image_time: SimTime,
+    /// How much *slower* a fully-dense-activation image is than the
+    /// profile-measured `per_image_time` under a dynamic sparsity mode
+    /// (zero for static modes and unprofiled models): the activation
+    /// sparsity of each image decides where in
+    /// `[per_image_time, per_image_time + image_time_spread]` its marginal
+    /// cost lands.
+    image_time_spread: SimTime,
     io_capacity: usize,
     dram: DramModel,
     sockets: usize,
@@ -109,9 +116,23 @@ impl BatchCostModel {
     pub fn new(config: &SystemConfig, model: &nc_dnn::Model) -> Self {
         let plans = plan_model_with(model, &config.geometry, config.sparsity);
         let (filter_time, per_image_time) = socket_times(config, &plans);
+        BatchCostModel::from_plans(config, &plans, filter_time, per_image_time, SimTime::ZERO)
+    }
+
+    /// Shared constructor tail of [`BatchCostModel::new`] /
+    /// [`BatchCostModel::with_profile`]: captures the config-derived fields
+    /// and the per-layer output profile from a set of plans.
+    fn from_plans(
+        config: &SystemConfig,
+        plans: &[LayerPlan],
+        filter_time: SimTime,
+        per_image_time: SimTime,
+        image_time_spread: SimTime,
+    ) -> Self {
         BatchCostModel {
             filter_time,
             per_image_time,
+            image_time_spread,
             io_capacity: config.geometry.io_way_bytes(),
             dram: config.dram,
             sockets: config.sockets,
@@ -120,6 +141,43 @@ impl BatchCostModel {
                 .map(|p| (p.name.clone(), p.output_bytes))
                 .collect(),
         }
+    }
+
+    /// [`BatchCostModel::new`] priced for a **measured activation
+    /// profile**: under [`crate::SparsityMode::SkipZeroInputs`] /
+    /// `SkipBoth`, `per_image_time()` reflects the profile's input-bit
+    /// skip fractions, and [`BatchCostModel::image_time_spread`] captures
+    /// how much slower a fully-dense-activation image runs (the same
+    /// plans with zero measured skip — detect overhead still charged).
+    /// This is what makes serving latency activation-dependent: images are
+    /// no longer interchangeable units of work. Under static modes the
+    /// profile changes nothing and the spread is zero.
+    #[must_use]
+    pub fn with_profile(
+        config: &SystemConfig,
+        model: &nc_dnn::Model,
+        profile: &crate::sparsity::ActivationProfile,
+    ) -> Self {
+        let mut plans = plan_model_with(model, &config.geometry, config.sparsity);
+        // Zero-skip pricing first (plans carry no measured fractions yet):
+        // the worst-case per-image time of a fully dense activation tensor.
+        let (_, per_image_dense) = socket_times(config, &plans);
+        profile.apply_to_plans(&mut plans);
+        let (filter_time, per_image_time) = socket_times(config, &plans);
+        let spread = if per_image_dense > per_image_time {
+            per_image_dense - per_image_time
+        } else {
+            SimTime::ZERO
+        };
+        BatchCostModel::from_plans(config, &plans, filter_time, per_image_time, spread)
+    }
+
+    /// Extra marginal time of a fully-dense-activation image over the
+    /// profiled `per_image_time()` (zero unless built by
+    /// [`BatchCostModel::with_profile`] under a dynamic sparsity mode).
+    #[must_use]
+    pub fn image_time_spread(&self) -> SimTime {
+        self.image_time_spread
     }
 
     /// One-time filter-loading cost (paid once while weights become
@@ -173,6 +231,12 @@ impl BatchCostModel {
     /// images' share hides under up to `per_image * (batch - 1)` of
     /// compute, discounted by [`DUMP_OVERLAP_EFFICIENCY`] for the reserved
     /// way's port conflict with input staging.
+    ///
+    /// `batch <= 1` returns zero **explicitly** (handled before the
+    /// `(batch - 1) / batch` window arithmetic, whose `usize` subtraction
+    /// would underflow at `batch = 0` and whose division would be 0/0): a
+    /// single image has no later compute to hide behind, and an empty
+    /// batch has nothing to dump.
     #[must_use]
     pub fn dump_overlap_saved(&self, batch: usize, dump_time: SimTime) -> SimTime {
         if batch <= 1 {
@@ -202,6 +266,31 @@ impl BatchCostModel {
             SimTime::ZERO
         };
         filter + self.per_image_time * batch as f64 + stall
+    }
+
+    /// [`BatchCostModel::service_time`] with **per-image activation
+    /// densities**: each image contributes `per_image_time() + act *
+    /// image_time_spread()`, where `act` in `[0, 1]` is its activation
+    /// density relative to the measured profile (0 = as sparse as the
+    /// profile, 1 = fully dense activations). With a zero spread (static
+    /// modes / unprofiled models) this is exactly
+    /// `service_time(acts.len(), cold)` — the serving simulator calls this
+    /// unconditionally and degenerates to the classic cost when
+    /// activation pricing is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts` is empty.
+    #[must_use]
+    pub fn service_time_acts(&self, acts: &[f64], cold: bool) -> SimTime {
+        assert!(!acts.is_empty(), "batch must be at least 1");
+        let mut t = self.service_time(acts.len(), cold);
+        if self.image_time_spread > SimTime::ZERO {
+            for &act in acts {
+                t += self.image_time_spread * act.clamp(0.0, 1.0);
+            }
+        }
+        t
     }
 
     /// Full Section IV-E batch report (cold start: includes filter load).
@@ -564,6 +653,93 @@ mod tests {
         for (r, &b) in sweep.iter().zip(&batches) {
             assert_eq!(r, &time_batch(&config, &model, b), "batch {b}");
         }
+    }
+
+    #[test]
+    fn zero_and_one_image_batches_never_overlap_dumps() {
+        // Regression: the overlappable window `(batch - 1) / batch` assumed
+        // batch >= 1 — batch = 0 would underflow the usize subtraction and
+        // divide 0/0. Both degenerate batches must report zero overlap even
+        // against nonzero dump traffic, and the batch-entry points must
+        // reject batch = 0 outright.
+        let model = inception_v3();
+        let cost = BatchCostModel::new(&config(), &model);
+        let fake_dump = SimTime::from_millis(5.0);
+        assert_eq!(cost.dump_overlap_saved(0, fake_dump), SimTime::ZERO);
+        assert_eq!(cost.dump_overlap_saved(1, fake_dump), SimTime::ZERO);
+        assert!(cost.dump_overlap_saved(2, fake_dump) > SimTime::ZERO);
+        // An empty batch has no dump traffic or dumped layers either.
+        assert_eq!(cost.dump_time(0), SimTime::ZERO);
+        let (t, layers) = cost.dump_profile(0);
+        assert_eq!(t, SimTime::ZERO);
+        assert!(layers.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn service_time_rejects_empty_batches() {
+        let cost = BatchCostModel::new(&config(), &inception_v3());
+        let _ = cost.service_time(0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn report_rejects_empty_batches() {
+        let cost = BatchCostModel::new(&config(), &inception_v3());
+        let _ = cost.report(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn activation_service_time_rejects_empty_batches() {
+        let cost = BatchCostModel::new(&config(), &inception_v3());
+        let _ = cost.service_time_acts(&[], false);
+    }
+
+    #[test]
+    fn profiled_cost_model_prices_activation_density() {
+        use crate::sparsity::{activation_profile, SparsityMode};
+        use nc_dnn::workload::{relu_sparse_conv_model, relu_sparse_input};
+        let model = relu_sparse_conv_model(2);
+        let input = relu_sparse_input(model.input_shape, 0.7, 2, 5);
+        let profile = activation_profile(&model, &input);
+        let dynamic = SystemConfig::with_sparsity(SparsityMode::SkipZeroInputs);
+        let cost = BatchCostModel::with_profile(&dynamic, &model, &profile);
+        assert!(
+            cost.image_time_spread() > SimTime::ZERO,
+            "a sparse profile must open a dense-vs-sparse image spread"
+        );
+        // Dense images cost more than profile-sparse ones; the batch total
+        // interpolates per image.
+        let sparse_batch = cost.service_time_acts(&[0.0, 0.0], false);
+        let dense_batch = cost.service_time_acts(&[1.0, 1.0], false);
+        let mixed = cost.service_time_acts(&[0.0, 1.0], false);
+        assert!(dense_batch > sparse_batch);
+        assert!(sparse_batch < mixed && mixed < dense_batch);
+        assert_eq!(
+            sparse_batch,
+            cost.service_time(2, false),
+            "act = 0 images cost the profiled per-image time"
+        );
+        let spread2 = cost.image_time_spread() * 2.0;
+        assert!((dense_batch.as_secs_f64() - (sparse_batch + spread2).as_secs_f64()).abs() < 1e-15);
+        // Out-of-range densities clamp.
+        assert_eq!(
+            cost.service_time_acts(&[7.0], false),
+            cost.service_time_acts(&[1.0], false)
+        );
+
+        // Static modes: no spread, and the acts path degenerates exactly.
+        let static_cost = BatchCostModel::new(&SystemConfig::xeon_e5_2697_v3(), &model);
+        assert_eq!(static_cost.image_time_spread(), SimTime::ZERO);
+        assert_eq!(
+            static_cost.service_time_acts(&[0.3, 0.9, 1.0], true),
+            static_cost.service_time(3, true)
+        );
+        // The profiled dynamic per-image time beats the unprofiled one
+        // (which charges detects but knows no skips).
+        let unprofiled = BatchCostModel::new(&dynamic, &model);
+        assert!(cost.per_image_time() < unprofiled.per_image_time());
     }
 
     #[test]

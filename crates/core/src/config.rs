@@ -41,10 +41,13 @@ pub struct SystemConfig {
     /// or a threaded backend. Both produce bit-identical results; this knob
     /// only changes host wall-clock time, never simulated time or outputs.
     pub parallelism: ExecutionEngine,
-    /// Weight-sparsity execution mode: [`SparsityMode::SkipZeroRows`]
-    /// elides all-lanes-zero multiplier-bit rounds in the bit-serial MACs.
-    /// Outputs stay bit-identical to [`SparsityMode::Dense`]; simulated MAC
-    /// cycles shrink with the model's weight sparsity.
+    /// Sparsity execution mode: [`SparsityMode::SkipZeroRows`] elides
+    /// all-lanes-zero **weight**-bit rounds for free (stationary filters);
+    /// [`SparsityMode::SkipZeroInputs`] / [`SparsityMode::SkipBoth`] elide
+    /// **input**-bit rounds behind a 1-cycle wired-NOR zero-detect per
+    /// round (activations are dynamic, so skips must be re-measured per
+    /// input — see `sparsity::activation_profile`). Outputs stay
+    /// bit-identical to [`SparsityMode::Dense`] under every mode.
     pub sparsity: SparsityMode,
 }
 

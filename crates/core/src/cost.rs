@@ -43,9 +43,49 @@ pub trait CostModel: fmt::Debug + Send + Sync {
     /// elided. Elided rounds cost nothing — the multiplier rows are
     /// stationary filter bit-slices, so the control FSM knows the all-zero
     /// rows from filter-load time and never issues them.
+    ///
+    /// The result is saturated into `[0, mac_cycles()]`: a `skip_fraction`
+    /// perturbed past 1.0 by float noise (or a cost model whose per-round
+    /// cost overstates the MAC total) must never produce negative sparse
+    /// cycles or a sparse cost above the dense one, which would flip
+    /// speedups below 1 or divide by a negative downstream.
     fn mac_cycles_sparse(&self, skip_fraction: f64) -> f64 {
-        let saved = skip_fraction * DATA_BITS as f64 * self.mul_round_cycles() as f64;
-        (self.mac_cycles() as f64 - saved).max(0.0)
+        let dense = self.mac_cycles() as f64;
+        let saved =
+            skip_fraction.clamp(0.0, 1.0) * DATA_BITS as f64 * self.mul_round_cycles() as f64;
+        (dense - saved).clamp(0.0, dense)
+    }
+
+    /// Cycles of one tag-latch wired-NOR zero-detect probing a dynamic
+    /// (input) multiplier bit-slice — the `nc-sram`
+    /// `ComputeArray::op_detect_zero` micro-op. Charged once per scheduled
+    /// round under the dynamic skip modes.
+    fn detect_cycle(&self) -> u64 {
+        1
+    }
+
+    /// Dynamic-skip MAC cost: one 8-bit MAC where the multiplier is the
+    /// streamed **input** byte, every scheduled round pays
+    /// [`CostModel::detect_cycle`] (the FSM cannot precompute activation
+    /// zeros), `skip_fraction` of the rounds is elided by the detect, and
+    /// executed rounds run only `live_bits` of the [`DATA_BITS`]
+    /// multiplicand adds (static weight truncation under `SkipBoth`; pass
+    /// `DATA_BITS as f64` when only inputs skip). Saturated into
+    /// `(0, mac_cycles() + detect overhead]`.
+    fn mac_cycles_dynamic(&self, skip_fraction: f64, live_bits: f64) -> f64 {
+        let rounds = DATA_BITS as f64;
+        let round = self.mul_round_cycles() as f64;
+        let skip = skip_fraction.clamp(0.0, 1.0);
+        let live = live_bits.clamp(0.0, rounds);
+        // Per executed round: the tag-load/carry-commit overhead of a full
+        // round minus the truncated adds.
+        let exec_round = round - (rounds - live);
+        let base = self.mac_cycles() as f64 - rounds * round;
+        let detect = rounds * self.detect_cycle() as f64;
+        // Saturate like mac_cycles_sparse: a cost model whose per-round
+        // cost overstates the MAC total must not go negative.
+        (base + detect + (1.0 - skip) * rounds * exec_round)
+            .clamp(0.0, self.mac_cycles() as f64 + detect)
     }
 
     /// Cycles of one step of the in-array reduction tree over
@@ -321,6 +361,113 @@ mod tests {
             assert!(full_skip > 0.0, "non-round costs remain");
             let half = model.mac_cycles_sparse(0.5);
             assert!(full_skip < half && half < dense);
+        }
+    }
+
+    #[test]
+    fn sparse_mac_cost_saturates_at_the_boundaries() {
+        // Regression: skip fractions perturbed past [0, 1] by float noise
+        // (or an adversarial cost model) must never yield sparse cycles
+        // that are negative or above the dense total.
+        for model in [&PaperCostModel as &dyn CostModel, &DerivedCostModel] {
+            let dense = model.mac_cycles() as f64;
+            assert_eq!(
+                model.mac_cycles_sparse(1.0 + 1e-9),
+                model.mac_cycles_sparse(1.0)
+            );
+            assert_eq!(
+                model.mac_cycles_sparse(-0.25),
+                dense,
+                "negative skip clamps to dense"
+            );
+            assert_eq!(model.mac_cycles_sparse(5.0), model.mac_cycles_sparse(1.0));
+            assert!(model.mac_cycles_sparse(1.0) >= 0.0);
+            assert!(model.mac_cycles_sparse(0.999) <= dense);
+        }
+        // A degenerate model whose round cost exceeds the MAC total still
+        // saturates at zero instead of going negative.
+        #[derive(Debug)]
+        struct Degenerate;
+        impl CostModel for Degenerate {
+            fn mac_cycles(&self) -> u64 {
+                10
+            }
+            fn mul_round_cycles(&self) -> u64 {
+                10 // 8 rounds * 10 = 80 "saved" >> 10 dense
+            }
+            fn reduction_step_cycles(&self) -> u64 {
+                1
+            }
+            fn reduction_setup_cycles(&self) -> u64 {
+                0
+            }
+            fn cross_array_step_cycles(&self) -> u64 {
+                0
+            }
+            fn requant_cycles(&self) -> u64 {
+                1
+            }
+            fn max_cycles(&self) -> u64 {
+                1
+            }
+            fn avg_add_cycles(&self) -> u64 {
+                1
+            }
+            fn avg_div_cycles(&self) -> u64 {
+                1
+            }
+            fn minmax_tree_cycles(&self, _lanes: usize) -> u64 {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "degenerate"
+            }
+        }
+        assert_eq!(
+            Degenerate.mac_cycles_sparse(1.0),
+            0.0,
+            "saturated, not negative"
+        );
+        assert_eq!(Degenerate.mac_cycles_sparse(0.0), 10.0);
+        // The dynamic variant saturates the same way.
+        assert_eq!(Degenerate.mac_cycles_dynamic(1.0, 8.0), 0.0);
+        assert!(Degenerate.mac_cycles_dynamic(0.0, 8.0) <= 10.0 + 8.0);
+        assert!(Degenerate.mac_cycles_dynamic(0.5, 2.0) >= 0.0);
+    }
+
+    #[test]
+    fn dynamic_mac_cost_charges_detect_and_interpolates() {
+        for model in [&PaperCostModel as &dyn CostModel, &DerivedCostModel] {
+            let dense = model.mac_cycles() as f64;
+            let rounds = DATA_BITS as f64;
+            // No skips, full-width weights: dense cost plus one detect per
+            // round — dynamic detection on dense activations is pure
+            // overhead (the break-even evidence).
+            let no_skip = model.mac_cycles_dynamic(0.0, rounds);
+            assert!(
+                (no_skip - (dense + rounds)).abs() < 1e-9,
+                "{}: {no_skip} vs {dense} + detects",
+                model.name()
+            );
+            // Full skip: only the non-round base plus the detects remain.
+            let full = model.mac_cycles_dynamic(1.0, rounds);
+            let base = dense - rounds * model.mul_round_cycles() as f64;
+            assert!((full - (base + rounds)).abs() < 1e-9);
+            assert!(full > 0.0, "non-round costs and detects remain");
+            // Monotone in skip, and truncation shaves executed rounds.
+            let half = model.mac_cycles_dynamic(0.5, rounds);
+            assert!(full < half && half < no_skip);
+            let truncated = model.mac_cycles_dynamic(0.5, 2.0);
+            assert!(truncated < half, "live_bits < 8 must be cheaper");
+            // Break-even: skipping 1/(n+2) of rounds repays the detects.
+            let break_even = 1.0 / model.mul_round_cycles() as f64;
+            let at_even = model.mac_cycles_dynamic(break_even, rounds);
+            assert!((at_even - dense).abs() < 1e-9, "{}", model.name());
+            // Out-of-range inputs clamp instead of exploding.
+            assert_eq!(
+                model.mac_cycles_dynamic(7.0, 99.0),
+                model.mac_cycles_dynamic(1.0, rounds)
+            );
         }
     }
 

@@ -142,11 +142,16 @@ pub fn run_model_with(
 
 /// Runs the whole model bit-accurately with an explicit execution engine
 /// **and** sparsity mode. [`SparsityMode::SkipZeroRows`] elides
-/// all-lanes-zero weight-bit rounds in the MACs: outputs and sub-layer
-/// records are **bit-identical** to dense (the proptest/bench gates enforce
-/// it, like the engine-equivalence gate), while
-/// [`CycleStats::skipped_rounds`] and [`CycleStats::skipped_cycles`] report
-/// the elided work.
+/// all-lanes-zero weight-bit rounds in the MACs;
+/// [`SparsityMode::SkipZeroInputs`] makes the streamed input byte the
+/// multiplier and elides all-lanes-zero input-bit rounds behind a 1-cycle
+/// wired-NOR detect per round; [`SparsityMode::SkipBoth`] adds static
+/// weight-side multiplicand truncation on top. Outputs and sub-layer
+/// records are **bit-identical** to dense under every mode (the
+/// proptest/bench gates enforce it, like the engine-equivalence gate),
+/// while [`CycleStats::skipped_rounds`] /
+/// [`CycleStats::input_rounds_skipped`] / [`CycleStats::detect_cycles`] /
+/// [`CycleStats::skipped_cycles`] report the elided work and its overhead.
 ///
 /// # Errors
 ///
@@ -676,15 +681,23 @@ fn mac_reduce_run(
                     arr.poke_lane(g * group_span + l, input_byte, u64::from(byte));
                 }
             }
-            // S1 += w * x ; S2 += x — all lanes in parallel. The stationary
-            // filter byte is the multiplier, so its bit-slice rows are what
-            // SkipZeroRows elides (8x8 multiply cost is symmetric in the
-            // operand order, and the product is identical).
+            // S1 += w * x ; S2 += x — all lanes in parallel. Under
+            // SkipZeroRows the stationary filter byte is the multiplier,
+            // so its bit-slice rows are what the FSM elides for free; the
+            // dynamic modes flip the roles — the streamed input byte
+            // becomes the multiplier so the per-round wired-NOR detect can
+            // elide all-lanes-zero input-bit rounds (8x8 multiply cost is
+            // symmetric in the operand order, and the product is
+            // identical either way).
             *cycles += match mode {
                 SparsityMode::Dense => arr.mul(input_byte, filter_byte, scratch16)?,
                 SparsityMode::SkipZeroRows => {
                     arr.mul_skip_zero_rows(input_byte, filter_byte, scratch16)?
                 }
+                SparsityMode::SkipZeroInputs => {
+                    arr.mul_skip_zero_input_bits(filter_byte, input_byte, scratch16)?
+                }
+                SparsityMode::SkipBoth => arr.mul_skip_both(filter_byte, input_byte, scratch16)?,
             };
             *cycles += arr.add_assign(partial, scratch16)?;
             *cycles += arr.add_assign(s2sum, input_byte)?;
@@ -1037,6 +1050,63 @@ mod tests {
         .expect("threaded skip-mode run");
         assert_eq!(both.output.data(), skipping.output.data());
         assert_eq!(both.cycles, skipping.cycles);
+
+        // The dynamic modes are likewise bit-identical to dense; their
+        // reconciliation accounts the per-round detect overhead:
+        // executed = dense - saved + detect.
+        for mode in [SparsityMode::SkipZeroInputs, SparsityMode::SkipBoth] {
+            let dynamic = run_model_configured(model, &input, ExecutionEngine::Sequential, mode)
+                .expect("dynamic-mode functional run");
+            assert_eq!(
+                dynamic.output.data(),
+                ours.output.data(),
+                "{mode:?} output differs from Dense"
+            );
+            assert_eq!(dynamic.sublayers, ours.sublayers);
+            assert_eq!(dynamic.cycles.mul_rounds, ours.cycles.mul_rounds);
+            assert_eq!(dynamic.cycles.access_cycles, ours.cycles.access_cycles);
+            assert_eq!(
+                dynamic.cycles.skipped_rounds, 0,
+                "dynamic modes skip input rounds, not weight rounds"
+            );
+            assert_eq!(
+                dynamic.cycles.detect_cycles, dynamic.cycles.mul_rounds,
+                "every scheduled round pays exactly one detect"
+            );
+            assert_eq!(
+                dynamic.cycles.compute_cycles + dynamic.cycles.skipped_cycles
+                    - dynamic.cycles.detect_cycles,
+                ours.cycles.compute_cycles,
+                "{mode:?}: detect-aware cycle reconciliation"
+            );
+            // Threaded execution reproduces the dynamic counters exactly.
+            let thr_dyn =
+                run_model_configured(model, &input, ExecutionEngine::from_threads(4), mode)
+                    .expect("threaded dynamic-mode run");
+            assert_eq!(thr_dyn.output.data(), dynamic.output.data());
+            assert_eq!(thr_dyn.cycles, dynamic.cycles);
+        }
+        // SkipBoth elides at least as many cycles as SkipZeroInputs (the
+        // truncation only adds savings) on identical round schedules.
+        let inputs_only = run_model_configured(
+            model,
+            &input,
+            ExecutionEngine::Sequential,
+            SparsityMode::SkipZeroInputs,
+        )
+        .expect("input-skip run");
+        let both_modes = run_model_configured(
+            model,
+            &input,
+            ExecutionEngine::Sequential,
+            SparsityMode::SkipBoth,
+        )
+        .expect("skip-both run");
+        assert_eq!(
+            both_modes.cycles.input_rounds_skipped, inputs_only.cycles.input_rounds_skipped,
+            "input-side elision is identical; truncation is extra"
+        );
+        assert!(both_modes.cycles.skipped_cycles >= inputs_only.cycles.skipped_cycles);
     }
 
     #[test]
@@ -1127,6 +1197,39 @@ mod tests {
             );
             assert!(run.cycles.skipped_rounds > 0, "pruned model must skip");
             assert!(predicted >= 0.75, "keep_bits = 2 skips the top 6 rounds");
+        }
+    }
+
+    #[test]
+    fn executed_input_skips_match_the_activation_profile() {
+        // The dynamic analogue of the weight-skip cross-check: the
+        // activation profile replays the mapper's lane packing on the
+        // actual input, so its predicted elidable-round count must equal
+        // the executed input_rounds_skipped counter *exactly* — on
+        // multi-layer models too (intermediate activations included).
+        use nc_dnn::workload::{relu_sparse_input, relu_sparse_mini};
+        for seed in [3u64, 14] {
+            let model = relu_sparse_mini(seed);
+            let input = relu_sparse_input(model.input_shape, 0.6, 3, seed + 50);
+            for mode in [SparsityMode::SkipZeroInputs, SparsityMode::SkipBoth] {
+                let run = run_model_configured(&model, &input, ExecutionEngine::Sequential, mode)
+                    .expect("dynamic run");
+                let profile = crate::sparsity::activation_profile(&model, &input);
+                assert_eq!(
+                    run.cycles.input_rounds_skipped,
+                    profile.skippable_rounds(),
+                    "seed {seed} {mode:?}: executed vs predicted skip count"
+                );
+                assert_eq!(
+                    run.cycles.mul_rounds,
+                    profile.total_rounds(),
+                    "seed {seed} {mode:?}: scheduled round count"
+                );
+                assert!(
+                    run.cycles.input_rounds_skipped > 0,
+                    "ReLU-sparse input must elide rounds"
+                );
+            }
         }
     }
 

@@ -58,8 +58,11 @@ pub use engine::ExecutionEngine;
 pub use mapping::{
     plan_model, plan_model_with, ConvMapping, LaneGeometry, LayerPlan, PoolMapping, UnitPlan,
 };
-pub use sparsity::SparsityMode;
-pub use timing::{time_inference, InferenceReport, LayerTiming, Phase, PhaseBreakdown};
+pub use sparsity::{ActivationProfile, SparsityMode};
+pub use timing::{
+    time_inference, time_inference_with_profile, InferenceReport, LayerTiming, Phase,
+    PhaseBreakdown,
+};
 
 /// The Neural Cache system: a configured accelerator exposing the timing,
 /// energy, batching and functional execution entry points.

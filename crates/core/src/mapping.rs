@@ -266,6 +266,23 @@ pub struct ConvMapping {
     /// phase is the max over arrays. Always `<= simd_skip_fraction`; 0 when
     /// planning densely or without weights.
     pub lockstep_skip_fraction: f64,
+    /// Whether this plan executes under a dynamic sparsity mode
+    /// ([`SparsityMode::SkipZeroInputs`] / [`SparsityMode::SkipBoth`]):
+    /// the input byte is the multiplier, every scheduled round pays the
+    /// 1-cycle wired-NOR zero-detect, and the MAC phase shrinks by
+    /// `input_skip_fraction` (which the planner cannot know — see below).
+    pub dynamic_detect: bool,
+    /// Fraction of multiplier-bit rounds the dynamic input-bit detect
+    /// elides. Activations are not stationary, so this is **0 at plan
+    /// time**; [`crate::sparsity::ActivationProfile::apply_to_plans`]
+    /// fills it with the value measured on an actual input.
+    pub input_skip_fraction: f64,
+    /// Mean live multiplicand width of executed rounds under
+    /// [`SparsityMode::SkipBoth`] (static weight truncation;
+    /// [`crate::sparsity::conv_live_mult_bits`] on this packing).
+    /// `DATA_BITS` when weights are full-width, absent, or the mode is not
+    /// `SkipBoth`.
+    pub live_mult_bits: f64,
     /// Word-line budget of one lane.
     pub rows: RowBudget,
 }
@@ -562,7 +579,23 @@ fn plan_conv_unit(
             let v = crate::sparsity::conv_skip_variants(conv);
             (v.mean, v.lockstep)
         }
-        SparsityMode::Dense | SparsityMode::SkipZeroRows => (0.0, 0.0),
+        SparsityMode::Dense
+        | SparsityMode::SkipZeroRows
+        | SparsityMode::SkipZeroInputs
+        | SparsityMode::SkipBoth => (0.0, 0.0),
+    };
+    // Dynamic input-bit elision: the skip fraction itself is per-input
+    // (filled by ActivationProfile::apply_to_plans); the weight-side
+    // truncation width of SkipBoth is static and measured here.
+    let dynamic_detect = mode.dynamic_detect();
+    let live_mult_bits = match mode {
+        SparsityMode::SkipBoth if conv.weights.is_some() => {
+            crate::sparsity::conv_live_mult_bits(conv)
+        }
+        SparsityMode::Dense
+        | SparsityMode::SkipZeroRows
+        | SparsityMode::SkipZeroInputs
+        | SparsityMode::SkipBoth => DATA_BITS as f64,
     };
 
     ConvMapping {
@@ -586,6 +619,9 @@ fn plan_conv_unit(
         fresh_input_fraction: fresh_fraction(spec.r, stride),
         simd_skip_fraction,
         lockstep_skip_fraction,
+        dynamic_detect,
+        input_skip_fraction: 0.0,
+        live_mult_bits,
         rows,
     }
 }

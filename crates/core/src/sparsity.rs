@@ -25,17 +25,20 @@
 //! All cycle arithmetic derives from the [`CostModel`] trait — the analysis
 //! can no longer drift from `cost.rs`.
 
-use nc_dnn::{Conv2d, Layer, Model};
+use nc_dnn::{pad_before, reference, BranchOp, Conv2d, Layer, Model, QTensor};
 use nc_sram::COLS;
 
 use crate::cost::{CostModel, DATA_BITS};
-use crate::mapping::{chunk_filter, conv_lane_geometry};
+use crate::mapping::{chunk_filter, chunk_window_bytes, conv_lane_geometry, LayerPlan, UnitPlan};
 
-/// Whether the executors elide all-lanes-zero multiplier-bit rounds.
+/// Which multiplier-bit rounds the executors elide.
 ///
-/// The knob lives on [`crate::SystemConfig`]; both modes produce
+/// The knob lives on [`crate::SystemConfig`]; every mode produces
 /// **bit-identical outputs** (an elided round is a functional no-op by
-/// construction), only cycle counts change.
+/// construction), only cycle counts change. The weight-side modes skip for
+/// free (the FSM learns all-zero filter bit-slices at load time); the
+/// input-side modes pay a 1-cycle tag-latch wired-NOR zero-detect on every
+/// scheduled round, because activations are not stationary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SparsityMode {
     /// Execute every multiplier-bit round (the paper's baseline machine).
@@ -43,7 +46,29 @@ pub enum SparsityMode {
     Dense,
     /// Elide rounds whose weight bit-slice row is zero on every lane of the
     /// array (Section VII future work; BitWave-style bit-level skipping).
+    /// The stationary filters serve as the multiplier.
     SkipZeroRows,
+    /// Elide rounds whose **input** bit-slice row is zero on every lane,
+    /// detected at run time by the tag-latch wired-NOR (1 cycle per
+    /// scheduled round). The streamed input byte serves as the multiplier;
+    /// ReLU-sparse activations make most rounds elidable, dense ones make
+    /// the detect pure overhead.
+    SkipZeroInputs,
+    /// [`SparsityMode::SkipZeroInputs`] composed with static weight-side
+    /// **multiplicand truncation**: executed rounds schedule adds only up
+    /// to the highest live weight bit-slice (known at filter-load time),
+    /// capturing contiguous top weight-bit sparsity on top of the dynamic
+    /// input skips.
+    SkipBoth,
+}
+
+impl SparsityMode {
+    /// Whether this mode pays the per-round dynamic zero-detect (the input
+    /// side of the skip machinery).
+    #[must_use]
+    pub fn dynamic_detect(&self) -> bool {
+        matches!(self, SparsityMode::SkipZeroInputs | SparsityMode::SkipBoth)
+    }
 }
 
 /// Round-skip opportunity of one convolution sub-layer on its real lane
@@ -320,6 +345,262 @@ pub fn analyze(model: &Model) -> SparsityReport {
     SparsityReport { sublayers }
 }
 
+/// Rounds-weighted mean of the **live multiplicand width** the control FSM
+/// schedules per executed round under [`SparsityMode::SkipBoth`]: for each
+/// `(m-block, array, tap)` multiply, the highest live weight bit-slice
+/// across the array's lanes (`8 - leading_zeros` of the OR mask), averaged
+/// over every multiply of the sub-layer on its real lane packing. The
+/// timing model prices executed rounds at `live + 2` cycles instead of
+/// `DATA_BITS + 2`.
+///
+/// # Panics
+///
+/// Panics if the sub-layer is shape-only.
+#[must_use]
+pub fn conv_live_mult_bits(conv: &Conv2d) -> f64 {
+    let spec = &conv.spec;
+    assert!(conv.weights.is_some(), "live-bit analysis needs weights");
+    let geom = conv_lane_geometry(spec);
+    let groups_per_array = geom.groups_per_array(spec.m);
+
+    let mut live_sum = 0u64;
+    let mut muls = 0u64;
+    let mut m = 0;
+    while m < spec.m {
+        let group_count = groups_per_array.min(spec.m - m);
+        let filters: Vec<Vec<Vec<u8>>> = (m..m + group_count)
+            .map(|f| chunk_filter(conv, f, &geom))
+            .collect();
+        for array_idx in 0..geom.arrays_per_filter {
+            let lane_base = array_idx * COLS;
+            for t in 0..geom.eff_window {
+                let mut or_mask = 0u8;
+                for chunks in &filters {
+                    for l in 0..geom.group_span {
+                        or_mask |= chunks.get(lane_base + l).map_or(0, |lane| lane[t]);
+                    }
+                }
+                live_sum += u64::from(8 - or_mask.leading_zeros());
+                muls += 1;
+            }
+        }
+        m += group_count;
+    }
+    if muls == 0 {
+        DATA_BITS as f64
+    } else {
+        live_sum as f64 / muls as f64
+    }
+}
+
+/// Measured input-activation round-skip opportunity of one convolution
+/// sub-layer on one **actual input tensor**, counted over the full
+/// execution (every output window, m-block, array and tap — unlike the
+/// per-window [`SkipProfile`], activations differ per window, so there is
+/// no repeating schedule to factor out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivationStats {
+    /// Sub-layer name.
+    pub name: String,
+    /// Input-bit rounds the wired-NOR detect elides across the whole
+    /// sub-layer execution.
+    pub skippable_rounds: u64,
+    /// Multiplier-bit rounds scheduled across the whole sub-layer
+    /// execution.
+    pub total_rounds: u64,
+    /// Input codes equal to the input zero point (exactly-zero real
+    /// activations — the ReLU footprint).
+    pub zero_codes: usize,
+    /// Total input codes of the sub-layer's input tensor.
+    pub codes: usize,
+}
+
+impl ActivationStats {
+    /// Fraction of scheduled rounds the detect elides.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_rounds == 0 {
+            0.0
+        } else {
+            self.skippable_rounds as f64 / self.total_rounds as f64
+        }
+    }
+}
+
+/// Per-input activation-sparsity measurement over a whole model: the
+/// dynamic analogue of [`SparsityReport`]. Where PR 3's weight analysis
+/// runs once at plan time, this must be re-measured per input — the FSM
+/// cannot precompute activation zeros, and neither can the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivationProfile {
+    /// Per-conv-sub-layer statistics, in execution order.
+    pub sublayers: Vec<ActivationStats>,
+}
+
+impl ActivationProfile {
+    /// Total elidable input-bit rounds over the model execution.
+    #[must_use]
+    pub fn skippable_rounds(&self) -> u64 {
+        self.sublayers.iter().map(|s| s.skippable_rounds).sum()
+    }
+
+    /// Total scheduled multiplier-bit rounds over the model execution.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.sublayers.iter().map(|s| s.total_rounds).sum()
+    }
+
+    /// Model-level input-skip fraction; equals the functional executor's
+    /// `input_rounds_skipped / mul_rounds` **exactly** under
+    /// [`SparsityMode::SkipZeroInputs`] / [`SparsityMode::SkipBoth`] on the
+    /// same input (both walk the identical lane packing).
+    #[must_use]
+    pub fn input_skip(&self) -> f64 {
+        let total = self.total_rounds();
+        if total == 0 {
+            0.0
+        } else {
+            self.skippable_rounds() as f64 / total as f64
+        }
+    }
+
+    /// Measured skip fraction of one named sub-layer (`None` when the
+    /// profile has no such sub-layer).
+    #[must_use]
+    pub fn skip_of(&self, name: &str) -> Option<f64> {
+        self.sublayers
+            .iter()
+            .find(|s| s.name == name)
+            .map(ActivationStats::fraction)
+    }
+
+    /// Writes the measured per-sub-layer skip fractions into a set of
+    /// plans (matched by sub-layer name), so the timing simulator can price
+    /// the dynamic skip for this specific input. Plans whose mode is not
+    /// dynamic ignore the fractions.
+    pub fn apply_to_plans(&self, plans: &mut [LayerPlan]) {
+        for plan in plans {
+            for unit in &mut plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    if let Some(f) = self.skip_of(&c.name) {
+                        c.input_skip_fraction = f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Measures the dynamic input-bit skip opportunity of every convolution
+/// sub-layer of `model` on one actual `input`, replaying the mapper's real
+/// lane packing ([`chunk_window_bytes`] over the executor's exact window
+/// gathering) on every intermediate activation tensor. Intermediates come
+/// from the [`nc_dnn::reference`] golden executor, which the functional
+/// executor matches bit for bit — so the profile predicts the executed
+/// [`nc_sram::CycleStats::input_rounds_skipped`] counters **exactly**.
+///
+/// # Panics
+///
+/// Panics if the model is shape-only or the input shape mismatches.
+#[must_use]
+pub fn activation_profile(model: &Model, input: &QTensor) -> ActivationProfile {
+    assert!(model.has_weights(), "activation profiling needs weights");
+    assert_eq!(input.shape(), model.input_shape, "input shape mismatch");
+    let mut sublayers = Vec::new();
+    let mut cur = input.clone();
+    for layer in &model.layers {
+        match layer {
+            Layer::Conv(conv) => {
+                sublayers.push(profile_conv(conv, &cur));
+                cur = reference::run_conv(conv, &cur).0;
+            }
+            Layer::Pool(pool) => cur = reference::run_pool(pool, &cur),
+            Layer::Mixed(block) => {
+                for branch in &block.branches {
+                    let mut bcur = cur.clone();
+                    let last = branch.ops.len() - 1;
+                    for (i, op) in branch.ops.iter().enumerate() {
+                        match op {
+                            BranchOp::Conv(c) => {
+                                sublayers.push(profile_conv(c, &bcur));
+                                if i != last {
+                                    bcur = reference::run_conv(c, &bcur).0;
+                                }
+                            }
+                            BranchOp::Pool(p) => bcur = reference::run_pool(p, &bcur),
+                            BranchOp::Split(convs) => {
+                                for c in convs {
+                                    sublayers.push(profile_conv(c, &bcur));
+                                }
+                            }
+                        }
+                    }
+                }
+                cur = reference::run_layer(layer, &cur).output;
+            }
+        }
+    }
+    ActivationProfile { sublayers }
+}
+
+/// One sub-layer's input-bit skip measurement: for every output window,
+/// regroup the padded window exactly as the executor streams it
+/// ([`chunk_window_bytes`]), OR each tap's bytes over every live lane of
+/// each array, and count the zero bits of the mask — each is one round the
+/// wired-NOR elides. M-blocks replicate the same input lanes, so their
+/// rounds multiply the count.
+fn profile_conv(conv: &Conv2d, input: &QTensor) -> ActivationStats {
+    let spec = &conv.spec;
+    let in_shape = input.shape();
+    let out_shape = spec.out_shape(in_shape);
+    let geom = conv_lane_geometry(spec);
+    let groups_per_array = geom.groups_per_array(spec.m);
+    let m_blocks = spec.m.div_ceil(groups_per_array) as u64;
+    let pad_y = pad_before(in_shape.h, spec.r, spec.stride, spec.padding) as isize;
+    let pad_x = pad_before(in_shape.w, spec.s, spec.stride, spec.padding) as isize;
+
+    let mut skippable = 0u64;
+    let mut total = 0u64;
+    let mut window = vec![0u8; spec.r * spec.s * spec.c];
+    for ey in 0..out_shape.h {
+        for ex in 0..out_shape.w {
+            // The executor's exact (r, s, c) window gathering, padding
+            // included (padding bytes hold the zero-point code).
+            let oy = (ey * spec.stride) as isize - pad_y;
+            let ox = (ex * spec.stride) as isize - pad_x;
+            let mut idx = 0;
+            for r in 0..spec.r {
+                for s in 0..spec.s {
+                    for c in 0..spec.c {
+                        window[idx] = input.get_padded(oy + r as isize, ox + s as isize, c);
+                        idx += 1;
+                    }
+                }
+            }
+            let lanes = chunk_window_bytes(&window, spec.c, &geom);
+            for array_idx in 0..geom.arrays_per_filter {
+                let lane_base = array_idx * COLS;
+                for t in 0..geom.eff_window {
+                    let mut or_mask = 0u8;
+                    for l in 0..geom.group_span {
+                        or_mask |= lanes.get(lane_base + l).map_or(0, |lane| lane[t]);
+                    }
+                    total += DATA_BITS as u64;
+                    skippable += u64::from(or_mask.count_zeros());
+                }
+            }
+        }
+    }
+    let zp = input.params().zero_point.clamp(0, 255) as u8;
+    ActivationStats {
+        name: spec.name.clone(),
+        skippable_rounds: skippable * m_blocks,
+        total_rounds: total * m_blocks,
+        zero_codes: input.data().iter().filter(|&&q| q == zp).count(),
+        codes: input.data().len(),
+    }
+}
+
 fn analyze_conv(conv: &Conv2d, out_shape: nc_dnn::Shape) -> SparsityStats {
     let weights = conv.weights.as_ref().expect("weights present");
     let zp = conv.w_quant.zero_point.clamp(0, 255) as u8;
@@ -497,6 +778,107 @@ mod tests {
             v.lockstep >= 0.75 - 1e-9,
             "bit pruning still skips globally"
         );
+    }
+
+    #[test]
+    fn activation_profile_tracks_input_density() {
+        use nc_dnn::workload::{relu_sparse_conv_model, relu_sparse_input};
+        let model = relu_sparse_conv_model(5);
+        // Mostly-zero, low-magnitude activations: most input-bit rounds
+        // are elidable (the top 8 - keep_bits rounds always are).
+        let sparse_in = relu_sparse_input(model.input_shape, 0.7, 2, 9);
+        let profile = activation_profile(&model, &sparse_in);
+        assert_eq!(profile.sublayers.len(), 1);
+        assert!(
+            profile.input_skip() >= 0.75,
+            "keep_bits = 2 elides at least the top six rounds, got {}",
+            profile.input_skip()
+        );
+        assert!(profile.skippable_rounds() <= profile.total_rounds());
+        assert_eq!(
+            profile.skip_of("relu_conv"),
+            Some(profile.input_skip()),
+            "single-conv model: layer skip is the model skip"
+        );
+        assert!(profile.skip_of("nope").is_none());
+        let s = &profile.sublayers[0];
+        assert!(s.zero_codes as f64 / s.codes as f64 > 0.6);
+
+        // Full-width dense activations: essentially nothing skips (an
+        // all-zero bit-slice over a whole array of lanes is vanishingly
+        // unlikely), which is what makes the detect pure overhead there.
+        let dense_in = relu_sparse_input(model.input_shape, 0.0, 8, 9);
+        let dense_profile = activation_profile(&model, &dense_in);
+        assert!(dense_profile.input_skip() < 0.1);
+        assert!(dense_profile.input_skip() < profile.input_skip());
+    }
+
+    #[test]
+    fn activation_profile_applies_to_dynamic_plans() {
+        use nc_dnn::workload::{relu_sparse_conv_model, relu_sparse_input};
+        use nc_geometry::CacheGeometry;
+        let model = relu_sparse_conv_model(3);
+        let input = relu_sparse_input(model.input_shape, 0.6, 3, 4);
+        let profile = activation_profile(&model, &input);
+        let geometry = CacheGeometry::xeon_e5_2697_v3();
+        let mut plans =
+            crate::mapping::plan_model_with(&model, &geometry, SparsityMode::SkipZeroInputs);
+        // Plan time cannot know activations: fraction starts at 0.
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert!(c.dynamic_detect);
+                    assert_eq!(c.input_skip_fraction, 0.0);
+                    assert_eq!(c.live_mult_bits, DATA_BITS as f64, "inputs-only mode");
+                }
+            }
+        }
+        profile.apply_to_plans(&mut plans);
+        let mut seen = false;
+        for plan in &plans {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    assert!((c.input_skip_fraction - profile.input_skip()).abs() < 1e-15);
+                    seen = true;
+                }
+            }
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn live_mult_bits_measures_weight_truncation() {
+        // keep_bits = 2: every weight code < 4, so the OR mask of any tap
+        // has no bit above 1 -> live <= 2.
+        let pruned = prune_conv(
+            random_conv("lb", (3, 3), 8, 4, 1, Padding::Same, true, 11),
+            2,
+            0.0,
+            13,
+        );
+        let live = conv_live_mult_bits(&pruned);
+        assert!(live <= 2.0 + 1e-12, "got {live}");
+        assert!(live > 0.0);
+        // Dense random weights: some lane in every ~72-lane OR has the top
+        // bit set.
+        let dense = random_conv("ld", (3, 3), 8, 4, 1, Padding::Same, true, 11);
+        assert!((conv_live_mult_bits(&dense) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs weights")]
+    fn activation_profile_rejects_shape_only_models() {
+        let model = nc_dnn::inception::inception_v3();
+        let input = nc_dnn::workload::random_input(model.input_shape, model.input_quant, 1);
+        let _ = activation_profile(&model, &input);
+    }
+
+    #[test]
+    fn dynamic_modes_report_detection() {
+        assert!(!SparsityMode::Dense.dynamic_detect());
+        assert!(!SparsityMode::SkipZeroRows.dynamic_detect());
+        assert!(SparsityMode::SkipZeroInputs.dynamic_detect());
+        assert!(SparsityMode::SkipBoth.dynamic_detect());
     }
 
     #[test]

@@ -129,9 +129,16 @@ pub struct LayerTiming {
     pub rounds: usize,
     /// Per-array compute cycles (serial view, summed over units).
     pub compute_cycles: u64,
-    /// MAC cycles elided by [`crate::SparsityMode::SkipZeroRows`] (0 under
-    /// dense execution); already excluded from `compute_cycles`.
+    /// MAC cycles elided by round skipping (0 under dense execution);
+    /// already excluded from `compute_cycles`. Under the dynamic modes this
+    /// is the **net** saving (dense minus detect-charged sparse MAC
+    /// cycles), saturated at 0 when the detect overhead exceeds the
+    /// savings.
     pub mac_saved_cycles: u64,
+    /// Tag-latch wired-NOR zero-detect cycles the dynamic sparsity modes
+    /// charge (one per scheduled multiplier-bit round; 0 under `Dense` and
+    /// `SkipZeroRows`). Included in `mac_cycles`/`compute_cycles`.
+    pub mac_detect_cycles: u64,
     /// MAC cycles of the layer under the per-bank-FSM skip variant (what
     /// the phase breakdown charges): the mean skip fraction over arrays.
     pub mac_cycles: u64,
@@ -269,9 +276,34 @@ impl fmt::Display for InferenceReport {
 /// Layer timings are independent of one another, so they are dispatched as
 /// shard jobs through [`SystemConfig::parallelism`]; the report is
 /// identical under every engine (results fold in layer order).
+///
+/// Under the dynamic sparsity modes this prices the detect overhead but no
+/// skips (activation densities are per-input and unknown here); use
+/// [`time_inference_with_profile`] to price a measured input.
 #[must_use]
 pub fn time_inference(config: &SystemConfig, model: &Model) -> InferenceReport {
     let plans = plan_model_with(model, &config.geometry, config.sparsity);
+    time_plans(config, model, plans)
+}
+
+/// [`time_inference`] with the MAC phase priced for one **measured input**:
+/// the [`crate::sparsity::ActivationProfile`]'s per-sub-layer input-bit
+/// skip fractions are written into the plans before timing, so under
+/// [`crate::SparsityMode::SkipZeroInputs`] / `SkipBoth` the report reflects
+/// that input's activation sparsity (detect overhead charged per round).
+/// Under the static modes the profile changes nothing.
+#[must_use]
+pub fn time_inference_with_profile(
+    config: &SystemConfig,
+    model: &Model,
+    profile: &crate::sparsity::ActivationProfile,
+) -> InferenceReport {
+    let mut plans = plan_model_with(model, &config.geometry, config.sparsity);
+    profile.apply_to_plans(&mut plans);
+    time_plans(config, model, plans)
+}
+
+fn time_plans(config: &SystemConfig, model: &Model, plans: Vec<LayerPlan>) -> InferenceReport {
     let layers = config
         .parallelism
         .run(plans.len(), |i| time_layer(config, &plans[i], i == 0));
@@ -294,6 +326,7 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
     let mut rounds_total = 0usize;
     let mut compute_cycles = 0u64;
     let mut mac_saved_cycles = 0u64;
+    let mut mac_detect_cycles = 0u64;
     let mut mac_cycles = 0u64;
     let mut mac_cycles_lockstep = 0u64;
     let mut active_weighted = 0.0f64;
@@ -317,6 +350,7 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
                 let (cycles_mac, cycles_saved, cycles_red, cycles_quant) =
                     (cycles.mac, cycles.saved, cycles.reduce, cycles.quant);
                 mac_saved_cycles += cycles_saved;
+                mac_detect_cycles += cycles.detect;
                 mac_cycles += cycles_mac;
                 mac_cycles_lockstep += cycles.mac_lockstep;
                 phases.add(Phase::Mac, SimTime::from_cycles(cycles_mac, freq));
@@ -410,6 +444,7 @@ pub fn time_layer(config: &SystemConfig, plan: &LayerPlan, first_layer: bool) ->
         rounds: rounds_total,
         compute_cycles,
         mac_saved_cycles,
+        mac_detect_cycles,
         mac_cycles,
         mac_cycles_lockstep,
         active_fraction,
@@ -425,8 +460,11 @@ struct ConvCycles {
     mac: u64,
     /// MAC cycles under the lockstep-bank (max-over-arrays) variant.
     mac_lockstep: u64,
-    /// Dense-minus-mean MAC cycles elided by round skipping.
+    /// Dense-minus-mean MAC cycles elided by round skipping (net of the
+    /// detect overhead under the dynamic modes; saturated at 0).
     saved: u64,
+    /// Wired-NOR zero-detect cycles charged (dynamic modes only).
+    detect: u64,
     /// Reduction cycles.
     reduce: u64,
     /// Ranging/requantization cycles.
@@ -440,13 +478,32 @@ struct ConvCycles {
 /// pruned uniformly, so the mean skip fraction applies); the
 /// **lockstep-bank** variant (one FSM steps every bank, so only globally
 /// zero rounds skip) is computed alongside to quantify the spread.
+///
+/// Under the dynamic modes (`SkipZeroInputs`/`SkipBoth`) the MAC phase is
+/// priced by [`CostModelRef::mac_cycles_dynamic`]: every scheduled round
+/// pays the 1-cycle wired-NOR detect, the mapping's (profile-measured)
+/// `input_skip_fraction` of rounds is elided, and executed rounds run only
+/// `live_mult_bits` adds. No lockstep variant exists here — the dynamic
+/// detect is inherently per-array (a single-cycle wired-NOR cannot span
+/// thousands of arrays), so per-bank FSMs are a prerequisite and the
+/// lockstep column mirrors the per-bank value.
 fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> ConvCycles {
     let rounds = c.rounds as u64;
     let serial_macs = rounds * c.eff_window as u64;
     let mac_dense = serial_macs * cost.mac_cycles();
-    let mac = (serial_macs as f64 * cost.mac_cycles_sparse(c.simd_skip_fraction)).round() as u64;
-    let mac_lockstep =
-        (serial_macs as f64 * cost.mac_cycles_sparse(c.lockstep_skip_fraction)).round() as u64;
+    let (mac, mac_lockstep, detect) = if c.dynamic_detect {
+        let mac = (serial_macs as f64
+            * cost.mac_cycles_dynamic(c.input_skip_fraction, c.live_mult_bits))
+        .round() as u64;
+        let detect = serial_macs * crate::cost::DATA_BITS as u64 * cost.detect_cycle();
+        (mac, mac, detect)
+    } else {
+        let mac =
+            (serial_macs as f64 * cost.mac_cycles_sparse(c.simd_skip_fraction)).round() as u64;
+        let lockstep =
+            (serial_macs as f64 * cost.mac_cycles_sparse(c.lockstep_skip_fraction)).round() as u64;
+        (mac, lockstep, 0)
+    };
     let saved = mac_dense.saturating_sub(mac);
     let reduce = rounds
         * (cost.reduction_setup_cycles()
@@ -459,6 +516,7 @@ fn conv_cycles(cost: &dyn CostModelRef, c: &ConvMapping) -> ConvCycles {
         mac,
         mac_lockstep,
         saved,
+        detect,
         reduce,
         quant,
     }
@@ -667,6 +725,74 @@ mod tests {
         let dense_mac: u64 = dense.layers.iter().map(|l| l.mac_cycles).sum();
         let lockstep_mac: u64 = sparse.layers.iter().map(|l| l.mac_cycles_lockstep).sum();
         assert!(lockstep_mac < dense_mac, "lockstep skipping still helps");
+    }
+
+    #[test]
+    fn dynamic_skip_prices_measured_activations_and_detect_overhead() {
+        use crate::sparsity::{activation_profile, SparsityMode};
+        use nc_dnn::workload::{relu_sparse_conv_model, relu_sparse_input};
+        let model = relu_sparse_conv_model(7);
+        let dense = time_inference(&SystemConfig::xeon_e5_2697_v3(), &model);
+        let dense_mac: u64 = dense.layers.iter().map(|l| l.mac_cycles).sum();
+        for l in &dense.layers {
+            assert_eq!(l.mac_detect_cycles, 0, "static modes charge no detect");
+        }
+
+        let config = SystemConfig::with_sparsity(SparsityMode::SkipZeroInputs);
+        // Without a profile the planner knows no skips: the dynamic mode is
+        // pure detect overhead over dense.
+        let unprofiled = time_inference(&config, &model);
+        let unprofiled_mac: u64 = unprofiled.layers.iter().map(|l| l.mac_cycles).sum();
+        let detect: u64 = unprofiled.layers.iter().map(|l| l.mac_detect_cycles).sum();
+        assert!(detect > 0);
+        assert_eq!(
+            unprofiled_mac,
+            dense_mac + detect,
+            "no measured skips: dynamic = dense + detect overhead"
+        );
+
+        // A measured ReLU-sparse input yields a *net* MAC speedup after
+        // the detect charge.
+        let sparse_in = relu_sparse_input(model.input_shape, 0.7, 2, 3);
+        let profile = activation_profile(&model, &sparse_in);
+        let profiled = time_inference_with_profile(&config, &model, &profile);
+        let profiled_mac: u64 = profiled.layers.iter().map(|l| l.mac_cycles).sum();
+        assert!(
+            (dense_mac as f64) / (profiled_mac as f64) > 1.3,
+            "ReLU-sparse input must net a MAC speedup: dense {dense_mac} vs {profiled_mac}"
+        );
+        // A dense-activation input shows the break-even's other side: the
+        // detect overhead makes the dynamic mode *slower* than dense.
+        let dense_in = relu_sparse_input(model.input_shape, 0.0, 8, 3);
+        let dense_prof = activation_profile(&model, &dense_in);
+        let overhead = time_inference_with_profile(&config, &model, &dense_prof);
+        let overhead_mac: u64 = overhead.layers.iter().map(|l| l.mac_cycles).sum();
+        assert!(
+            overhead_mac > dense_mac,
+            "dense activations make detection pure overhead"
+        );
+        // Non-MAC phases are untouched by the dynamic mode.
+        for (d, s) in dense.layers.iter().zip(&profiled.layers) {
+            for phase in Phase::ALL {
+                if phase != Phase::Mac {
+                    assert_eq!(d.phases.get(phase), s.phases.get(phase), "{phase:?}");
+                }
+            }
+        }
+        // SkipBoth composes the static weight truncation on top: never
+        // slower than inputs-only on the same profile.
+        let both = time_inference_with_profile(
+            &SystemConfig::with_sparsity(SparsityMode::SkipBoth),
+            &model,
+            &profile,
+        );
+        let both_mac: u64 = both.layers.iter().map(|l| l.mac_cycles).sum();
+        assert!(both_mac <= profiled_mac);
+        // The lockstep column mirrors the per-bank value under dynamic
+        // modes (no lockstep wired-NOR across arrays is modeled).
+        for l in &profiled.layers {
+            assert_eq!(l.mac_cycles, l.mac_cycles_lockstep);
+        }
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Property tests of the `SparsityMode::SkipZeroRows` execution mode: for
-//! random **and** pruned weights, skipping must be byte-identical to dense
-//! execution with exactly reconciled cycle accounting, and on single-conv
-//! models the executed skip counters must match the `sparsity::analyze`
-//! prediction computed on the mapper's real lane packing.
+//! Property tests of the round-skipping execution modes: for random **and**
+//! pruned weights, `SkipZeroRows` must be byte-identical to dense execution
+//! with exactly reconciled cycle accounting, and on single-conv models the
+//! executed skip counters must match the `sparsity::analyze` prediction
+//! computed on the mapper's real lane packing. The dynamic modes
+//! (`SkipZeroInputs`/`SkipBoth`) get the same treatment against ReLU-sparse
+//! activations: byte identity with detect-aware reconciliation, and executed
+//! input-skip counters equal to the `sparsity::activation_profile`
+//! prediction exactly.
 
-use nc_dnn::workload::{prune_conv, random_conv, random_input, single_conv_model};
+use nc_dnn::workload::{
+    prune_conv, random_conv, random_input, relu_act_quant, relu_sparse_input, single_conv_model,
+};
 use nc_dnn::{Padding, Shape};
 use neural_cache::functional::run_model_configured;
 use neural_cache::{ExecutionEngine, SparsityMode};
@@ -87,5 +93,104 @@ proptest! {
             (executed - predicted).abs() < 1e-12,
             "executed {} vs predicted {}", executed, predicted
         );
+    }
+
+    /// `SkipZeroInputs` and `SkipBoth` outputs are byte-identical to
+    /// `Dense` across kernel shapes, channels, strides, paddings,
+    /// activation densities and weight pruning; the detect-aware counters
+    /// reconcile the cycle difference exactly
+    /// (`sparse + saved - detect = dense`).
+    #[test]
+    fn dynamic_skipping_is_byte_identical_to_dense(
+        r in 1usize..4,
+        s in 1usize..4,
+        c in 1usize..20,
+        m in 1usize..5,
+        stride in 1usize..3,
+        zero_pct in 0u32..11,
+        act_bits in 1u32..9,
+        same_pad in any::<bool>(),
+        prune in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let k = 5usize;
+        let padding = if same_pad { Padding::Same } else { Padding::Valid };
+        let mut conv = random_conv("prop", (r, s), c, m, stride, padding, true, seed);
+        if prune {
+            conv = prune_conv(conv, 3, 0.5, seed + 7);
+        }
+        let mut model = single_conv_model(conv, Shape::new(k, k, c));
+        model.input_quant = relu_act_quant();
+        let input = relu_sparse_input(
+            model.input_shape, f64::from(zero_pct) / 10.0, act_bits, seed + 1,
+        );
+
+        let dense = run_model_configured(
+            &model, &input, ExecutionEngine::Sequential, SparsityMode::Dense,
+        ).expect("dense run");
+        for mode in [SparsityMode::SkipZeroInputs, SparsityMode::SkipBoth] {
+            let dynamic = run_model_configured(
+                &model, &input, ExecutionEngine::Sequential, mode,
+            ).expect("dynamic run");
+            prop_assert_eq!(dense.output.data(), dynamic.output.data(), "{:?}", mode);
+            prop_assert_eq!(&dense.sublayers, &dynamic.sublayers);
+            prop_assert_eq!(dense.cycles.mul_rounds, dynamic.cycles.mul_rounds);
+            prop_assert_eq!(dense.cycles.access_cycles, dynamic.cycles.access_cycles);
+            prop_assert_eq!(
+                dynamic.cycles.detect_cycles, dynamic.cycles.mul_rounds,
+                "one detect per scheduled round"
+            );
+            prop_assert!(dynamic.cycles.input_rounds_skipped <= dynamic.cycles.mul_rounds);
+            prop_assert_eq!(dynamic.cycles.skipped_rounds, 0, "no weight-round counter");
+            prop_assert_eq!(
+                dynamic.cycles.compute_cycles + dynamic.cycles.skipped_cycles
+                    - dynamic.cycles.detect_cycles,
+                dense.cycles.compute_cycles,
+                "detect-aware reconciliation under {:?}", mode
+            );
+        }
+    }
+
+    /// The executed input-skip counters equal the
+    /// `sparsity::activation_profile` prediction **exactly** — the profile
+    /// replays the mapper's real lane packing on the actual input, so the
+    /// counts (not just the fractions) must agree, under both dynamic
+    /// modes and regardless of weight pruning.
+    #[test]
+    fn executed_input_skip_counters_match_activation_profile(
+        r in 1usize..4,
+        s in 1usize..4,
+        c in 1usize..24,
+        m in 1usize..6,
+        zero_pct in 0u32..11,
+        act_bits in 1u32..9,
+        same_pad in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let padding = if same_pad { Padding::Same } else { Padding::Valid };
+        let conv = random_conv("prop", (r, s), c, m, 1, padding, true, seed);
+        let mut model = single_conv_model(conv, Shape::new(4, 4, c));
+        model.input_quant = relu_act_quant();
+        let input = relu_sparse_input(
+            model.input_shape, f64::from(zero_pct) / 10.0, act_bits, seed + 5,
+        );
+        let profile = neural_cache::sparsity::activation_profile(&model, &input);
+        for mode in [SparsityMode::SkipZeroInputs, SparsityMode::SkipBoth] {
+            let run = run_model_configured(
+                &model, &input, ExecutionEngine::Sequential, mode,
+            ).expect("dynamic run");
+            prop_assert_eq!(
+                run.cycles.input_rounds_skipped,
+                profile.skippable_rounds(),
+                "executed vs predicted input skips under {:?}", mode
+            );
+            prop_assert_eq!(run.cycles.mul_rounds, profile.total_rounds());
+            let executed = run.cycles.input_skip_fraction();
+            let predicted = profile.input_skip();
+            prop_assert!(
+                (executed - predicted).abs() < 1e-12,
+                "executed {} vs predicted {}", executed, predicted
+            );
+        }
     }
 }

@@ -89,6 +89,70 @@ pub fn prune_conv(mut conv: Conv2d, keep_bits: u32, zero_fraction: f64, seed: u6
     conv
 }
 
+/// Quantization parameters of a post-ReLU activation tensor: zero point 0
+/// (codes are non-negative reals), so an exactly-zero activation is the
+/// all-zero code `0x00` — the byte shape dynamic input-bit round skipping
+/// feeds on. (With a symmetric range the zero code would be `0x80`, which
+/// is bit-*dense*.)
+#[must_use]
+pub fn relu_act_quant() -> ActQuant {
+    ActQuant::from_range(0.0, 6.0)
+}
+
+/// Generates a ReLU-sparse activation tensor with controllable sparsity:
+/// each code is exactly zero with probability `zero_fraction` (the ReLU
+/// footprint), and surviving codes are masked to their low `keep_bits`
+/// bits (the low-magnitude tail real post-ReLU distributions have). Uses
+/// [`relu_act_quant`] so zero codes decode to exactly-zero reals.
+///
+/// # Panics
+///
+/// Panics if `zero_fraction` is outside `[0, 1]` or `keep_bits` is not in
+/// `1..=8`.
+#[must_use]
+pub fn relu_sparse_input(shape: Shape, zero_fraction: f64, keep_bits: u32, seed: u64) -> QTensor {
+    assert!(
+        (0.0..=1.0).contains(&zero_fraction),
+        "zero_fraction in [0, 1]"
+    );
+    assert!((1..=8).contains(&keep_bits), "keep_bits in 1..=8");
+    let mask = ((1u16 << keep_bits) - 1) as u8;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5245_4c55_u64);
+    let mut data = vec![0u8; shape.len()];
+    for q in &mut data {
+        if rng.gen_range(0.0..1.0) >= zero_fraction {
+            *q = (rng.next_u32() as u8) & mask;
+        }
+    }
+    QTensor::from_vec(shape, relu_act_quant(), data)
+}
+
+/// [`mini_inception`] re-quantized to consume post-ReLU inputs
+/// ([`relu_act_quant`], zero point 0) — the multi-layer workload for
+/// dynamic input-activation round skipping. Weights stay dense-random, so
+/// any skip comes from the activations alone.
+#[must_use]
+pub fn relu_sparse_mini(seed: u64) -> Model {
+    let mut model = mini_inception(seed);
+    model.name = "relu-sparse-mini".into();
+    model.input_quant = relu_act_quant();
+    model
+}
+
+/// A single dense-random convolution consuming post-ReLU inputs — the
+/// focused workload for predicted-vs-executed input-skip cross-checks and
+/// the detect-overhead break-even measurement. VALID padding, so no
+/// padding bytes contribute zeros: with a zero-point-0 input quant, SAME
+/// padding alone elides ~20% of rounds (padded taps are all-zero bytes),
+/// which would mask the break-even.
+#[must_use]
+pub fn relu_sparse_conv_model(seed: u64) -> Model {
+    let conv = random_conv("relu_conv", (3, 3), 8, 4, 1, Padding::Valid, true, seed);
+    let mut model = single_conv_model(conv, Shape::new(6, 6, 8));
+    model.input_quant = relu_act_quant();
+    model
+}
+
 /// [`mini_inception`] with every convolution pruned to 2-bit codes and 50%
 /// exact zeros — the dense-vs-pruned evaluation workload for
 /// `SparsityMode::SkipZeroRows` (at least the top six multiplier-bit
@@ -526,6 +590,38 @@ mod tests {
         assert_eq!(model.layers.len(), 1);
         let input = random_input(model.input_shape, model.input_quant, 6);
         let _ = run_model(&model, &input);
+    }
+
+    #[test]
+    fn relu_sparse_inputs_have_zero_point_zero_and_controlled_density() {
+        let shape = Shape::new(16, 16, 8);
+        let t = relu_sparse_input(shape, 0.6, 3, 11);
+        assert_eq!(t.params().zero_point, 0, "ReLU quant pins zero at code 0");
+        let zeros = t.data().iter().filter(|&&q| q == 0).count();
+        let frac = zeros as f64 / t.data().len() as f64;
+        assert!(frac > 0.55, "zero fraction {frac:.2} too low");
+        assert!(t.data().iter().all(|&q| q < 8), "codes masked to 3 bits");
+        // Deterministic, seed-sensitive.
+        assert_eq!(t, relu_sparse_input(shape, 0.6, 3, 11));
+        assert_ne!(t, relu_sparse_input(shape, 0.6, 3, 12));
+        // Density 0 keeps every code zero; density bound is honored.
+        let dense = relu_sparse_input(shape, 0.0, 8, 5);
+        assert!(dense.data().iter().any(|&q| q > 127), "full-width codes");
+        let empty = relu_sparse_input(shape, 1.0, 8, 5);
+        assert!(empty.data().iter().all(|&q| q == 0));
+    }
+
+    #[test]
+    fn relu_sparse_models_run_end_to_end() {
+        let model = relu_sparse_mini(7);
+        assert_eq!(model.input_quant.zero_point, 0);
+        let input = relu_sparse_input(model.input_shape, 0.5, 4, 8);
+        let out = run_model(&model, &input);
+        assert_eq!(out.output.shape(), Shape::new(1, 1, 5));
+        let single = relu_sparse_conv_model(7);
+        assert_eq!(single.layers.len(), 1);
+        let input = relu_sparse_input(single.input_shape, 0.5, 4, 9);
+        let _ = run_model(&single, &input);
     }
 
     #[test]

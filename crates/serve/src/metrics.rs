@@ -135,8 +135,21 @@ impl MetricsCollector {
     }
 
     /// Records one completed request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite latency: a NaN would silently poison the
+    /// percentile ranks downstream (`total_cmp` sorts NaN above every real
+    /// latency, so p99/max would report NaN-adjacent garbage), so it is
+    /// rejected at the door.
     pub fn on_completion(&mut self, c: Completion) {
-        self.latencies_ms.push(c.latency.as_millis_f64());
+        let latency_ms = c.latency.as_millis_f64();
+        assert!(
+            latency_ms.is_finite(),
+            "non-finite completion latency {latency_ms} for class {}",
+            c.class
+        );
+        self.latencies_ms.push(latency_ms);
         if let Some(count) = self.per_class_completed.get_mut(c.class as usize) {
             *count += 1;
         }
@@ -234,14 +247,33 @@ impl MetricsCollector {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (`q` in `[0, 1]`);
-/// 0 for an empty sample.
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element such that at least `q` of the sample is `<=` it, i.e. element
+/// `ceil(q * n)` (1-indexed), clamped into `[1, n]`.
+///
+/// Edge behavior is **defined**, not incidental:
+///
+/// - `q <= 0.0` returns the sample **minimum** (rank 0 clamps to 1 — the
+///   nearest-rank convention's degenerate "0th percentile");
+/// - `q >= 1.0` returns the sample **maximum**;
+/// - a single-sample input returns that sample for every `q` (every rank
+///   clamps to 1);
+/// - an empty sample returns `0.0` (no latency to report);
+/// - the sample must be NaN-free: NaNs are rejected upstream by
+///   [`MetricsCollector::on_completion`] before `sort_by(total_cmp)` ever
+///   sees them (`total_cmp` would sort NaNs to the top and corrupt the
+///   high percentiles), and this function debug-asserts the invariant.
 #[must_use]
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
+    debug_assert!(
+        sorted.iter().all(|l| !l.is_nan()),
+        "percentile input contains NaN"
+    );
+    debug_assert!(!q.is_nan(), "percentile quantile is NaN");
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -262,6 +294,33 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edges_are_defined() {
+        // q = 0 is the minimum by definition, not an accident of clamping;
+        // q past the ends clamps; a single sample answers every q.
+        let v = [3.0, 9.0, 27.0];
+        assert_eq!(percentile(&v, 0.0), 3.0, "0th percentile = minimum");
+        assert_eq!(percentile(&v, -0.5), 3.0, "q below 0 clamps");
+        assert_eq!(percentile(&v, 1.5), 27.0, "q above 1 clamps");
+        assert_eq!(percentile(&v, 1.0 / 3.0), 3.0, "exact rank boundary");
+        assert_eq!(percentile(&v, 0.34), 9.0, "just past the boundary");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), 42.0, "single sample at q={q}");
+        }
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn percentile_rejects_nan_samples() {
+        // NaN latencies are structurally excluded (SimTime's constructors
+        // reject non-finite values, and on_completion asserts finiteness as
+        // a second line of defense), but percentile itself still refuses a
+        // poisoned sample instead of silently reporting NaN-adjacent ranks.
+        let _ = percentile(&[1.0, f64::NAN, 3.0], 0.99);
+    }
+
+    #[test]
     fn collector_tracks_conservation_and_depth() {
         let config = ServeConfig::default_two_slice();
         let trace = TraceConfig::poisson(100.0, 10, 1);
@@ -271,6 +330,7 @@ mod tests {
                 id,
                 arrival: SimTime::from_millis(id as f64),
                 class: 0,
+                act: 0.5,
             });
         }
         m.observe_queue_depth(4, SimTime::from_millis(10.0));
@@ -286,6 +346,7 @@ mod tests {
             id: 99,
             arrival: SimTime::from_millis(1.0),
             class: 0,
+            act: 0.5,
         });
         let s = m.finish(SimTime::from_millis(50.0), 3, &[SimTime::from_millis(25.0)]);
         assert_eq!(s.admitted, 10);

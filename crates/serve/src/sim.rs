@@ -405,7 +405,17 @@ pub fn simulate_with_cost(
                         }
                     }
                     let s = &mut slices[slice_idx];
-                    let service = cost.service_time(batch.len(), s.cold);
+                    // Activation-dependent pricing: each request carries
+                    // its input's activation density, and a dynamic-mode
+                    // cost model charges dense-activation images more.
+                    // Static cost models (zero spread) take the classic
+                    // batch-size path without collecting the densities.
+                    let service = if cost.image_time_spread() > SimTime::ZERO {
+                        let acts: Vec<f64> = batch.iter().map(|r| r.act).collect();
+                        cost.service_time_acts(&acts, s.cold)
+                    } else {
+                        cost.service_time(batch.len(), s.cold)
+                    };
                     let cold = s.cold;
                     s.cold = false;
                     s.busy = true;
@@ -572,6 +582,44 @@ mod tests {
             }
         }
         assert!(cold_seen.iter().any(|&c| c), "someone paid the filter load");
+    }
+
+    #[test]
+    fn activation_profiled_cost_makes_latency_input_dependent() {
+        use nc_dnn::workload::{relu_sparse_conv_model, relu_sparse_input};
+        use neural_cache::sparsity::activation_profile;
+        use neural_cache::SparsityMode;
+
+        let model = relu_sparse_conv_model(4);
+        let input = relu_sparse_input(model.input_shape, 0.7, 2, 6);
+        let profile = activation_profile(&model, &input);
+        let system = SystemConfig::with_sparsity(SparsityMode::SkipZeroInputs);
+        let cost = BatchCostModel::with_profile(&system, &model, &profile);
+        assert!(cost.image_time_spread() > nc_geometry::SimTime::ZERO);
+
+        let config = ServeConfig {
+            system,
+            ..quick_config(BatchPolicy::Fixed { size: 1 })
+        };
+        let trace = TraceConfig::poisson(50.0, 60, 31);
+        let out = simulate_with_cost(&config, &cost, &trace);
+        assert_eq!(out.summary.completed, 60);
+        assert!(out.summary.conservation_holds());
+        // Single-request batches at low load: service time varies with the
+        // per-request activation density, so completions are NOT all equal
+        // — the first time the serving simulator sees input-dependent
+        // latency. (With a zero-spread model every uncontended batch-1
+        // service is identical.)
+        assert!(
+            out.summary.max_ms > out.summary.p50_ms,
+            "activation spread must differentiate request latencies: max {} vs p50 {}",
+            out.summary.max_ms,
+            out.summary.p50_ms
+        );
+        // Deterministic: same seed, same activation-priced trajectory.
+        let again = simulate_with_cost(&config, &cost, &trace);
+        assert_eq!(out.trace.to_log(), again.trace.to_log());
+        assert_eq!(out.summary, again.summary);
     }
 
     #[test]

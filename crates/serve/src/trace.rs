@@ -16,6 +16,15 @@ pub struct Request {
     pub arrival: SimTime,
     /// Traffic-class index into the trace's [`TrafficClass`] mix.
     pub class: u8,
+    /// Activation density of this request's input in `[0, 1)`: 0 means
+    /// activations as sparse as the serving cost model's measured profile,
+    /// 1 means fully dense. Under a dynamic-sparsity
+    /// `neural_cache::BatchCostModel` the request's marginal service time
+    /// scales with it (activation-dependent latency); static cost models
+    /// ignore it. Derived deterministically from `(trace seed, id)` by a
+    /// hash — **not** drawn from the arrival RNG, so activation pricing
+    /// never perturbs arrival times of existing seeded traces.
+    pub act: f64,
 }
 
 /// The arrival process shape.
@@ -129,9 +138,33 @@ impl TraceConfig {
 /// Draws an exponential inter-event time with the given rate (events per
 /// second) from one uniform draw.
 fn exp_draw(rng: &mut SmallRng, rate: f64) -> f64 {
+    exp_from_uniform(rng.gen_range(0.0..1.0), rate)
+}
+
+/// Maps one uniform draw to an exponential inter-event time via inverse
+/// transform sampling, guarding the logarithm's pole: a draw at (or
+/// rounded to) exactly 1.0 would take `ln(0) = -inf` and produce an
+/// **infinite** inter-arrival or think time, silently stalling closed-loop
+/// clients and MMPP dwell switches forever. The survival term is clamped
+/// away from zero, capping the draw at a large-but-finite multiple of the
+/// mean (`-ln(MIN_POSITIVE)/rate` ~ 708 means).
+fn exp_from_uniform(u: f64, rate: f64) -> f64 {
     assert!(rate > 0.0, "exponential rate must be positive");
-    let u: f64 = rng.gen_range(0.0..1.0);
-    -(1.0 - u).ln() / rate
+    let survival = (1.0 - u).max(f64::MIN_POSITIVE);
+    -survival.ln() / rate
+}
+
+/// Deterministic per-request activation density in `[0, 1)`: a splitmix64
+/// hash of `(trace seed, request id)`. Deliberately independent of the
+/// arrival RNG stream (see [`Request::act`]).
+fn act_density(seed: u64, id: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(0x41_4354)
+        .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// The stateful arrival process a simulation consumes: open-loop kinds
@@ -142,6 +175,7 @@ fn exp_draw(rng: &mut SmallRng, rate: f64) -> f64 {
 pub struct ArrivalProcess {
     rng: SmallRng,
     mix: Vec<TrafficClass>,
+    seed: u64,
     issued: u64,
     budget: u64,
     closed: Option<f64>, // think_s when closed-loop
@@ -162,6 +196,7 @@ impl ArrivalProcess {
         let mut process = ArrivalProcess {
             rng: SmallRng::seed_from_u64(config.seed),
             mix: config.mix.clone(),
+            seed: config.seed,
             issued: 0,
             budget: config.requests as u64,
             closed: None,
@@ -240,7 +275,12 @@ impl ArrivalProcess {
         self.issued += 1;
         let u: f64 = self.rng.gen_range(0.0..1.0);
         let class = draw_class(&self.mix, u) as u8;
-        Some(Request { id, arrival, class })
+        Some(Request {
+            id,
+            arrival,
+            class,
+            act: act_density(self.seed, id),
+        })
     }
 
     fn gen_open_loop(&mut self, mut inter: impl FnMut(&mut SmallRng, f64) -> f64) -> Vec<Request> {
@@ -360,5 +400,38 @@ mod tests {
     #[should_panic(expected = "at least one request")]
     fn empty_traces_are_rejected() {
         let _ = ArrivalProcess::new(&TraceConfig::poisson(10.0, 0, 1));
+    }
+
+    #[test]
+    fn exp_draw_survives_a_boundary_uniform() {
+        // Regression: a uniform draw at (or rounded to) exactly 1.0 hits
+        // ln(0) = -inf — an infinite inter-arrival/think time that would
+        // stall closed-loop clients and MMPP dwell switches forever. The
+        // clamp caps it at a finite multiple of the mean.
+        let worst = exp_from_uniform(1.0, 100.0);
+        assert!(worst.is_finite(), "boundary draw must stay finite");
+        assert!(worst > 0.0);
+        // Even a u past 1.0 (float noise upstream) stays finite.
+        assert!(exp_from_uniform(1.0 + 1e-16, 100.0).is_finite());
+        // The clamp sits far beyond any plausible draw: ~708 means.
+        assert!(worst < 10.0, "708 means at rate 100 is ~7.08 s");
+        // Ordinary draws are untouched by the guard.
+        assert!((exp_from_uniform(0.5, 2.0) - 0.5f64.ln().abs() / 2.0).abs() < 1e-12);
+        assert_eq!(exp_from_uniform(0.0, 5.0), 0.0, "u = 0 is a zero wait");
+    }
+
+    #[test]
+    fn act_densities_are_deterministic_and_uniform_ish() {
+        let config = TraceConfig::poisson(500.0, 400, 42);
+        let (_, a) = ArrivalProcess::new(&config);
+        let (_, b) = ArrivalProcess::new(&config);
+        assert_eq!(a, b, "same seed, same densities");
+        assert!(a.iter().all(|r| (0.0..1.0).contains(&r.act)));
+        let mean = a.iter().map(|r| r.act).sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.08, "act mean {mean:.3}");
+        // Density is a function of (seed, id), not of the arrival RNG:
+        // a different seed changes it.
+        let (_, c) = ArrivalProcess::new(&TraceConfig::poisson(500.0, 400, 43));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.act != y.act));
     }
 }

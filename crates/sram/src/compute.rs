@@ -312,6 +312,26 @@ impl ComputeArray {
         Ok(())
     }
 
+    /// Compute cycle: loads the tag latches from row `src` and reports
+    /// whether **every** tag bit is zero — the tag-latch wired-NOR the
+    /// paper's search accelerator uses to detect an all-miss in one cycle
+    /// (Compute Caches, Section III). This is the dynamic zero-detect
+    /// behind input-bit round skipping: the control FSM senses the
+    /// multiplier bit-slice into the tags and the wired-NOR tells it in the
+    /// same cycle whether the round can be elided. The cycle is counted in
+    /// both `compute_cycles` and the dedicated
+    /// [`CycleStats::detect_cycles`] counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-range errors.
+    pub fn op_detect_zero(&mut self, src: usize) -> Result<bool> {
+        self.tag = self.array.read_row(src)?;
+        self.tick_compute();
+        self.stats.detect_cycles += 1;
+        Ok(self.tag.is_zero())
+    }
+
     /// Compute cycle: loads the tag latches with the complement of row
     /// `src` (sensed against the zero row).
     ///
@@ -538,6 +558,19 @@ impl ComputeArray {
     /// dense schedule would have spent on it.
     pub(crate) fn note_skipped_round(&mut self, saved_cycles: u64) {
         self.stats.skipped_rounds += 1;
+        self.stats.skipped_cycles += saved_cycles;
+    }
+
+    /// Records one dynamically elided input-bit round and the compute
+    /// cycles the dense schedule would have spent on it.
+    pub(crate) fn note_input_round_skipped(&mut self, saved_cycles: u64) {
+        self.stats.input_rounds_skipped += 1;
+        self.stats.skipped_cycles += saved_cycles;
+    }
+
+    /// Records add-chain cycles elided by static multiplicand truncation
+    /// (no round is skipped; the dense schedule would have executed them).
+    pub(crate) fn note_truncated_cycles(&mut self, saved_cycles: u64) {
         self.stats.skipped_cycles += saved_cycles;
     }
 

@@ -80,6 +80,110 @@ impl ComputeArray {
         Ok(self.stats() - before)
     }
 
+    /// Vector multiplication with **dynamic input-bit round elision**: the
+    /// multiplier `b` holds streamed input activations, so the control FSM
+    /// cannot precompute which bit-slice rows are all-zero (unlike the
+    /// stationary weights of [`ComputeArray::mul_skip_zero_rows`]). Instead
+    /// every scheduled round pays a **1-cycle tag-latch wired-NOR
+    /// zero-detect** ([`ComputeArray::op_detect_zero`]): the multiplier
+    /// bit-slice is sensed into the tags and the wired-NOR reports whether
+    /// any lane holds a `1`. A round whose slice is zero on every lane is
+    /// then elided (the tag-gated adds and carry write could not change any
+    /// cell); a live round executes the normal Figure 6 schedule.
+    ///
+    /// The products are **bit-identical** to [`ComputeArray::mul`]. Cycle
+    /// accounting: every round adds one cycle to
+    /// [`CycleStats::detect_cycles`] (also counted in `compute_cycles` —
+    /// the model conservatively does not fuse the detect with the live
+    /// round's tag load), elided rounds are counted in
+    /// [`CycleStats::input_rounds_skipped`] and save `n + 2` cycles in
+    /// [`CycleStats::skipped_cycles`]. Skipping therefore nets a gain only
+    /// when more than ~1/(n+2) of the rounds are elidable — ReLU-sparse
+    /// activations clear that bar easily; dense ones do not.
+    ///
+    /// # Errors
+    ///
+    /// Same operand constraints as [`ComputeArray::mul`].
+    pub fn mul_skip_zero_input_bits(
+        &mut self,
+        a: Operand,
+        b: Operand,
+        prod: Operand,
+    ) -> Result<CycleStats> {
+        self.validate_mul(a, b, prod)?;
+        let (n, m) = (a.bits(), b.bits());
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..m {
+            self.note_mul_round();
+            if self.op_detect_zero(b.row(j))? {
+                self.note_input_round_skipped(n as u64 + 2);
+                continue;
+            }
+            self.mul_round(a, b, prod, j, n)?;
+        }
+        Ok(self.stats() - before)
+    }
+
+    /// Vector multiplication composing **both** sparsity mechanisms: the
+    /// dynamic input-bit zero-detect of
+    /// [`ComputeArray::mul_skip_zero_input_bits`] on the multiplier `b`
+    /// (streamed activations), plus **static multiplicand truncation** on
+    /// `a` (stationary weights): the FSM knows from filter-load time the
+    /// highest weight bit-slice row that is live on *any* lane, and
+    /// schedules only `live` predicated adds per executed round instead of
+    /// `n`, committing the carry directly at `prod[j + live]`.
+    ///
+    /// Truncation is bit-exact: rows of `a` at and above `live` are zero on
+    /// every lane, so the dense schedule's upper adds only ripple the
+    /// carry-out into `prod[j + live]` (which is provably zero before round
+    /// `j` — all earlier writes land strictly below it) and write zeros
+    /// above; committing the carry latch there directly produces the same
+    /// cells. Note this captures *contiguous top* weight-bit sparsity
+    /// (low-magnitude quantization); isolated all-zero middle rows still
+    /// execute, because mid-chain adds must propagate carries — eliding
+    /// those requires the weights to be the multiplier, which is exactly
+    /// [`ComputeArray::mul_skip_zero_rows`]'s regime.
+    ///
+    /// Cycle accounting: as `mul_skip_zero_input_bits`, plus
+    /// `n - live` cycles per executed round are recorded in
+    /// [`CycleStats::skipped_cycles`] (no round counter — the round runs,
+    /// shortened).
+    ///
+    /// # Errors
+    ///
+    /// Same operand constraints as [`ComputeArray::mul`].
+    pub fn mul_skip_both(&mut self, a: Operand, b: Operand, prod: Operand) -> Result<CycleStats> {
+        self.validate_mul(a, b, prod)?;
+        let (n, m) = (a.bits(), b.bits());
+        // Highest live multiplicand bit across every lane — known to the
+        // FSM for free when the transpose unit writes the filter rows.
+        let mut live = 0;
+        for i in (0..n).rev() {
+            if !self.cells().read_row(a.row(i))?.is_zero() {
+                live = i + 1;
+                break;
+            }
+        }
+        let before = self.stats();
+        self.zero(prod)?;
+        for j in 0..m {
+            self.note_mul_round();
+            if self.op_detect_zero(b.row(j))? {
+                self.note_input_round_skipped(n as u64 + 2);
+                continue;
+            }
+            self.note_truncated_cycles((n - live) as u64);
+            self.op_load_tag(b.row(j))?;
+            self.preset_carry(false);
+            for i in 0..live {
+                self.op_full_add(a.row(i), prod.row(j + i), prod.row(j + i), Predicate::Tag)?;
+            }
+            self.op_write_carry(prod.row(j + live), Predicate::Tag)?;
+        }
+        Ok(self.stats() - before)
+    }
+
     /// One multiplier-bit round of the Figure 6 algorithm: load the tag
     /// from multiplier bit `j`, conditionally add the multiplicand into the
     /// partial product at offset `j`, commit the round's carry-out.
@@ -309,6 +413,166 @@ mod tests {
         assert_eq!(arr.peek_lane(0, p), 7 * 255);
         assert_eq!(s.skipped_rounds, 0);
         assert_eq!(s.compute_cycles, 96, "full dense cost");
+    }
+
+    #[test]
+    fn skip_zero_input_bits_is_bit_identical_and_charges_detect() {
+        // Low-nibble *inputs*: bit rounds 4..8 of the multiplier are
+        // all-zero across lanes and elide after the per-round detect.
+        let mut dense = arr();
+        let mut sparse = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let values = [(200u64, 9u64), (37, 0), (255, 15), (1, 8)];
+        for (lane, (x, y)) in values.iter().enumerate() {
+            dense.poke_lane(lane, a, *x);
+            dense.poke_lane(lane, b, *y);
+            sparse.poke_lane(lane, a, *x);
+            sparse.poke_lane(lane, b, *y);
+        }
+        let d = dense.mul(a, b, p).unwrap();
+        let s = sparse.mul_skip_zero_input_bits(a, b, p).unwrap();
+        for (lane, (x, y)) in values.iter().enumerate() {
+            assert_eq!(sparse.peek_lane(lane, p), x * y, "lane {lane}");
+        }
+        assert_eq!(s.mul_rounds, 8);
+        assert_eq!(s.detect_cycles, 8, "every scheduled round pays a detect");
+        assert_eq!(s.input_rounds_skipped, 4, "top-nibble rounds elided");
+        assert_eq!(s.skipped_rounds, 0, "weight-skip counter untouched");
+        assert_eq!(s.skipped_cycles, 4 * 10, "n + 2 cycles per elided round");
+        // Reconciliation: executed = dense - saved + detect overhead.
+        assert_eq!(
+            s.compute_cycles + s.skipped_cycles - s.detect_cycles,
+            d.compute_cycles,
+            "detect-aware cycle reconciliation"
+        );
+    }
+
+    #[test]
+    fn dense_inputs_make_detection_pure_overhead() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        arr.poke_lane(0, a, 7);
+        arr.poke_lane(0, b, 255);
+        let s = arr.mul_skip_zero_input_bits(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 7 * 255);
+        assert_eq!(s.input_rounds_skipped, 0);
+        assert_eq!(s.detect_cycles, 8);
+        assert_eq!(s.compute_cycles, 96 + 8, "full dense cost plus detects");
+    }
+
+    #[test]
+    fn skip_both_truncates_the_add_chain_and_skips_input_rounds() {
+        // Multiplicand (weights) limited to the low 3 bits on every lane;
+        // multiplier (inputs) limited to the low nibble.
+        let mut dense = arr();
+        let mut both = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let values = [(5u64, 9u64), (7, 0), (3, 15), (1, 8)];
+        for (lane, (x, y)) in values.iter().enumerate() {
+            dense.poke_lane(lane, a, *x);
+            dense.poke_lane(lane, b, *y);
+            both.poke_lane(lane, a, *x);
+            both.poke_lane(lane, b, *y);
+        }
+        let d = dense.mul(a, b, p).unwrap();
+        let s = both.mul_skip_both(a, b, p).unwrap();
+        for (lane, (x, y)) in values.iter().enumerate() {
+            assert_eq!(both.peek_lane(lane, p), x * y, "lane {lane}");
+            assert_eq!(both.peek_lane(lane, p), dense.peek_lane(lane, p));
+        }
+        assert_eq!(s.mul_rounds, 8);
+        assert_eq!(s.detect_cycles, 8);
+        assert_eq!(s.input_rounds_skipped, 4);
+        // Saved: 4 skipped rounds * 10 + 4 executed rounds * (8 - 3) adds.
+        assert_eq!(s.skipped_cycles, 4 * 10 + 4 * 5);
+        assert_eq!(
+            s.compute_cycles + s.skipped_cycles - s.detect_cycles,
+            d.compute_cycles,
+            "detect-aware cycle reconciliation"
+        );
+    }
+
+    #[test]
+    fn skip_both_with_mid_bit_weight_holes_stays_exact() {
+        // Weight codes 0b1000_0001: live = 8 (no truncation possible), a
+        // zero *middle* row must still execute — products must stay exact.
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        arr.poke_lane(0, a, 0x81);
+        arr.poke_lane(1, a, 0x81);
+        arr.poke_lane(0, b, 201);
+        arr.poke_lane(1, b, 54); // 201 | 54 = 255: every input round live
+        let s = arr.mul_skip_both(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 0x81 * 201);
+        assert_eq!(arr.peek_lane(1, p), 0x81 * 54);
+        assert_eq!(s.skipped_cycles, 0, "no truncation, no input skips");
+    }
+
+    #[test]
+    fn skip_both_all_zero_weights_run_empty_rounds() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        arr.poke_lane(0, b, 255);
+        let s = arr.mul_skip_both(a, b, p).unwrap();
+        assert_eq!(arr.peek_lane(0, p), 0);
+        // live = 0: every round is tag load + carry write (2 cycles) after
+        // its detect; zeroing is 16 cycles.
+        assert_eq!(s.compute_cycles, 16 + 8 * 3);
+        assert_eq!(s.skipped_cycles, 8 * 8, "8 truncated adds per round");
+    }
+
+    #[test]
+    fn dynamic_skip_variants_match_dense_exhaustively() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let p = Operand::new(16, 16).unwrap();
+        let interesting = [0u64, 1, 2, 3, 15, 127, 128, 255];
+        for &x in &interesting {
+            for (lane, &y) in interesting.iter().enumerate() {
+                arr.poke_lane(lane, a, x);
+                arr.poke_lane(lane, b, y);
+            }
+            arr.mul_skip_zero_input_bits(a, b, p).unwrap();
+            for (lane, &y) in interesting.iter().enumerate() {
+                assert_eq!(arr.peek_lane(lane, p), x * y, "input-skip {x} * {y}");
+            }
+            arr.mul_skip_both(a, b, p).unwrap();
+            for (lane, &y) in interesting.iter().enumerate() {
+                assert_eq!(arr.peek_lane(lane, p), x * y, "skip-both {x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_variants_validate_like_dense() {
+        let mut arr = arr();
+        let a = Operand::new(0, 8).unwrap();
+        let b = Operand::new(8, 8).unwrap();
+        let narrow = Operand::new(16, 15).unwrap();
+        assert!(matches!(
+            arr.mul_skip_zero_input_bits(a, b, narrow),
+            Err(SramError::DestinationTooNarrow { .. })
+        ));
+        assert!(matches!(
+            arr.mul_skip_both(a, b, narrow),
+            Err(SramError::DestinationTooNarrow { .. })
+        ));
+        let overlapping = Operand::new(4, 16).unwrap();
+        assert!(matches!(
+            arr.mul_skip_both(a, b, overlapping),
+            Err(SramError::OverlappingOperands { .. })
+        ));
     }
 
     #[test]

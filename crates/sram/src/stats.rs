@@ -21,14 +21,26 @@ pub struct CycleStats {
     /// Multiplier-bit rounds scheduled by vector multiplications (one per
     /// multiplier bit per [`crate::ComputeArray::mul`]-family call).
     pub mul_rounds: u64,
-    /// Multiplier-bit rounds elided because the bit-slice row was zero on
-    /// every lane ([`crate::ComputeArray::mul_skip_zero_rows`]); always
-    /// `<= mul_rounds`, and 0 under dense execution.
+    /// Multiplier-bit rounds elided because the **weight** bit-slice row
+    /// was zero on every lane ([`crate::ComputeArray::mul_skip_zero_rows`]);
+    /// always `<= mul_rounds`, and 0 under dense execution.
     pub skipped_rounds: u64,
-    /// Compute cycles the dense round schedule would have spent on the
-    /// elided rounds (the saved-cycle counter; **not** included in
-    /// `compute_cycles`, which only counts cycles actually executed).
+    /// Compute cycles the dense round schedule would have spent on work
+    /// that was elided — whole skipped rounds (weight- or input-side) plus
+    /// the add-chain cycles truncated by
+    /// [`crate::ComputeArray::mul_skip_both`]. **Not** included in
+    /// `compute_cycles`, which only counts cycles actually executed.
     pub skipped_cycles: u64,
+    /// Tag-latch wired-NOR zero-detect cycles spent probing dynamic
+    /// (input) multiplier bit-slices — one per scheduled round of the
+    /// [`crate::ComputeArray::mul_skip_zero_input_bits`] family. These are
+    /// real executed cycles (also counted in `compute_cycles`): the dense
+    /// schedule never pays them, so they offset the input-skip savings.
+    pub detect_cycles: u64,
+    /// Multiplier-bit rounds elided because the **input** bit-slice row
+    /// was detected zero on every lane at run time; always `<= mul_rounds`,
+    /// and 0 under dense or weight-only-skip execution.
+    pub input_rounds_skipped: u64,
 }
 
 impl CycleStats {
@@ -41,17 +53,30 @@ impl CycleStats {
             mul_rounds: 0,
             skipped_rounds: 0,
             skipped_cycles: 0,
+            detect_cycles: 0,
+            input_rounds_skipped: 0,
         }
     }
 
-    /// Fraction of scheduled multiplier-bit rounds that were elided
-    /// (0 when no vector multiply ran).
+    /// Fraction of scheduled multiplier-bit rounds elided for weight
+    /// sparsity (0 when no vector multiply ran).
     #[must_use]
     pub fn skip_fraction(&self) -> f64 {
         if self.mul_rounds == 0 {
             0.0
         } else {
             self.skipped_rounds as f64 / self.mul_rounds as f64
+        }
+    }
+
+    /// Fraction of scheduled multiplier-bit rounds elided by the dynamic
+    /// input-bit zero detect (0 when no vector multiply ran).
+    #[must_use]
+    pub fn input_skip_fraction(&self) -> f64 {
+        if self.mul_rounds == 0 {
+            0.0
+        } else {
+            self.input_rounds_skipped as f64 / self.mul_rounds as f64
         }
     }
 
@@ -88,6 +113,8 @@ impl Add for CycleStats {
             mul_rounds: self.mul_rounds + rhs.mul_rounds,
             skipped_rounds: self.skipped_rounds + rhs.skipped_rounds,
             skipped_cycles: self.skipped_cycles + rhs.skipped_cycles,
+            detect_cycles: self.detect_cycles + rhs.detect_cycles,
+            input_rounds_skipped: self.input_rounds_skipped + rhs.input_rounds_skipped,
         }
     }
 }
@@ -112,12 +139,16 @@ impl Sub for CycleStats {
         debug_assert!(self.mul_rounds >= rhs.mul_rounds);
         debug_assert!(self.skipped_rounds >= rhs.skipped_rounds);
         debug_assert!(self.skipped_cycles >= rhs.skipped_cycles);
+        debug_assert!(self.detect_cycles >= rhs.detect_cycles);
+        debug_assert!(self.input_rounds_skipped >= rhs.input_rounds_skipped);
         CycleStats {
             compute_cycles: self.compute_cycles - rhs.compute_cycles,
             access_cycles: self.access_cycles - rhs.access_cycles,
             mul_rounds: self.mul_rounds - rhs.mul_rounds,
             skipped_rounds: self.skipped_rounds - rhs.skipped_rounds,
             skipped_cycles: self.skipped_cycles - rhs.skipped_cycles,
+            detect_cycles: self.detect_cycles - rhs.detect_cycles,
+            input_rounds_skipped: self.input_rounds_skipped - rhs.input_rounds_skipped,
         }
     }
 }
@@ -129,12 +160,18 @@ impl fmt::Display for CycleStats {
             "{} compute + {} access cycles",
             self.compute_cycles, self.access_cycles
         )?;
-        if self.skipped_rounds > 0 {
+        if self.skipped_rounds > 0 || self.input_rounds_skipped > 0 {
             write!(
                 f,
-                " ({} of {} mul rounds skipped, {} cycles saved)",
-                self.skipped_rounds, self.mul_rounds, self.skipped_cycles
+                " ({} of {} mul rounds skipped, {} cycles saved",
+                self.skipped_rounds + self.input_rounds_skipped,
+                self.mul_rounds,
+                self.skipped_cycles
             )?;
+            if self.detect_cycles > 0 {
+                write!(f, ", {} detect cycles charged", self.detect_cycles)?;
+            }
+            write!(f, ")")?;
         }
         Ok(())
     }
@@ -265,6 +302,42 @@ mod tests {
         assert!(text.contains("6 of 16 mul rounds skipped"));
         assert!(text.contains("60 cycles saved"));
         assert!(!CycleStats::new().to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn dynamic_input_counters_accumulate_and_report() {
+        let mut s = CycleStats::new();
+        assert_eq!(s.input_skip_fraction(), 0.0, "no multiplies yet");
+        s += CycleStats {
+            compute_cycles: 48,
+            mul_rounds: 8,
+            input_rounds_skipped: 5,
+            skipped_cycles: 50,
+            detect_cycles: 8,
+            ..CycleStats::new()
+        };
+        s += CycleStats {
+            compute_cycles: 96,
+            mul_rounds: 8,
+            ..CycleStats::new()
+        };
+        assert_eq!(s.detect_cycles, 8);
+        assert_eq!(s.input_rounds_skipped, 5);
+        assert!((s.input_skip_fraction() - 5.0 / 16.0).abs() < 1e-12);
+        assert_eq!(s.skip_fraction(), 0.0, "weight skips stay separate");
+        let text = s.to_string();
+        assert!(text.contains("5 of 16 mul rounds skipped"));
+        assert!(text.contains("8 detect cycles charged"));
+        let diff = s - CycleStats {
+            compute_cycles: 48,
+            mul_rounds: 8,
+            input_rounds_skipped: 5,
+            skipped_cycles: 50,
+            detect_cycles: 8,
+            ..CycleStats::new()
+        };
+        assert_eq!(diff.detect_cycles, 0);
+        assert_eq!(diff.input_rounds_skipped, 0);
     }
 
     #[test]
