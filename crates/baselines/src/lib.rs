@@ -24,6 +24,19 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: throughput/energy math converts counters to f64
+// (bounded far below 2^52); the layer-MAC match reads better than an
+// if-let chain; tests name near-identical stem layers deliberately.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp,
+    clippy::single_match_else,
+    clippy::similar_names
+)]
 
 use nc_dnn::{Layer, Model};
 use nc_geometry::SimTime;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Emits `BENCH_functional.json`: sequential-vs-threaded wall time of the
 //! functional executor on the Inception v3 proxy workloads, the
 //! dense-vs-pruned sparsity section (simulated cycles, wall times, the

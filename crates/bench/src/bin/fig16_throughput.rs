@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates the paper artifact; see `nc_bench::fig16`.
 fn main() {
     print!("{}", nc_bench::fig16());

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Self-check binary: regenerates every table/figure artifact and verifies
 //! the paper's headline constants appear in each, exiting non-zero on any
 //! mismatch. A fast end-to-end sanity gate for the whole reproduction

@@ -1,0 +1,124 @@
+#![forbid(unsafe_code)]
+
+//! Static plan lint gate: runs the `nc-verify` hazard checks and
+//! three-way cycle reconciliation over every shipped workload under all
+//! four sparsity modes, writes the diagnostics as a JSON artifact, and
+//! exits non-zero on *any* diagnostic — so CI fails the moment a plan,
+//! schedule, cost model, or executor drifts out of agreement.
+//!
+//! Shape-only workloads (the full Inception v3 graph) get the static
+//! passes: operand-layout lints, per-mode MAC-tap schedule hazards,
+//! cost-model anchors, per-layer lane geometry / row budget / static ↔
+//! analytical MAC cycles, and the reserved-way dump-overlap window.
+//! Weighted workloads additionally run the functional executor under
+//! every mode and reconcile the executed `CycleStats` against both
+//! static schedules and the analytical model.
+//!
+//! ```bash
+//! cargo run --release -p nc-bench --bin plan_lint -- --out PLAN_LINT.json
+//! ```
+
+use std::process::ExitCode;
+
+use nc_dnn::inception::inception_v3;
+use nc_dnn::workload::{
+    pruned_conv_model, pruned_inception, random_input, relu_sparse_conv_model, relu_sparse_mini,
+    tiny_cnn,
+};
+use nc_dnn::Model;
+use nc_verify::report::VerifyReport;
+use nc_verify::{check_executed_model, check_model};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Runs the static-only or static+executed verification for one workload.
+fn verify(model: &Model, executed: bool) -> VerifyReport {
+    let config = nc_bench::base_config();
+    if executed {
+        let input = random_input(model.input_shape, model.input_quant, 7);
+        match check_executed_model(&config, model, &input) {
+            Ok(report) => report,
+            Err(e) => {
+                // An executor failure is itself a gate failure: surface it
+                // as a report whose only "diagnostic" is the error text.
+                let mut report = check_model(&config, model);
+                report.record(
+                    "executed-reconciliation",
+                    vec![nc_verify::diag::Diagnostic::new(
+                        nc_verify::diag::ErrorCode::CycleMismatchExecuted,
+                        model.name.clone(),
+                        format!("functional executor failed: {e}"),
+                    )],
+                );
+                report
+            }
+        }
+    } else {
+        check_model(&config, model)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "PLAN_LINT.json".into());
+
+    // (workload, run the executed leg too). Inception v3 proper is
+    // shape-only; every weighted workload executes under all four modes.
+    let workloads: [(Model, bool); 6] = [
+        (inception_v3(), false),
+        (pruned_inception(3), true),
+        (relu_sparse_mini(7), true),
+        (tiny_cnn(42), true),
+        (pruned_conv_model(5), true),
+        (relu_sparse_conv_model(7), true),
+    ];
+
+    let mut reports = Vec::new();
+    let mut dirty = 0u32;
+    for (model, executed) in &workloads {
+        let report = verify(model, *executed);
+        let n = report.diagnostics.len();
+        if report.is_clean() {
+            println!(
+                "ok   {}: {} check(s) clean{}",
+                report.subject,
+                report.checks.len(),
+                if *executed {
+                    " (static + executed)"
+                } else {
+                    " (static)"
+                }
+            );
+        } else {
+            println!("FAIL {}: {n} diagnostic(s)", report.subject);
+            for d in &report.diagnostics {
+                println!("     {d}");
+            }
+            dirty += 1;
+        }
+        reports.push(report);
+    }
+
+    let json: Vec<String> = reports.iter().map(VerifyReport::to_json).collect();
+    let artifact = format!("[{}]\n", json.join(","));
+    if let Err(e) = std::fs::write(&out, artifact) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if dirty == 0 {
+        println!(
+            "plan_lint: all {} workload(s) verified clean",
+            workloads.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("plan_lint: {dirty} workload(s) with diagnostics");
+        ExitCode::FAILURE
+    }
+}

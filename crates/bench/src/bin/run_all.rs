@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates every table and figure of the paper's evaluation in one run.
 //!
 //! `--threads N` runs the simulators behind the artifacts on the threaded

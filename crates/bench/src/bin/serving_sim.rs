@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Runs the `nc-serve` serving bench (offered-load sweep + trace/policy
 //! matrix) and prints the human-readable table; exits non-zero when the
 //! serving sanity gate (conservation, monotone latency vs load, goodput

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Sparsity extension analysis; see `nc_bench::sparsity`.
 fn main() {
     print!("{}", nc_bench::sparsity());

@@ -19,6 +19,18 @@
 //! | §I/III headlines | [`headlines`] | `headline_numbers` |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: speedup ratios convert cycle counters to f64
+// (bounded far below 2^52); gate helpers panic by design on malformed
+// expectations; JSON emitters keep their row structs next to the loops.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::items_after_statements,
+    clippy::many_single_char_names,
+    clippy::missing_panics_doc,
+    clippy::too_many_lines
+)]
 
 pub mod perf;
 pub mod serving;

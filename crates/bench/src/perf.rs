@@ -1,6 +1,6 @@
 //! Host wall-time measurement of the functional executor under the
 //! Sequential vs Threaded execution engines **and** the Dense vs
-//! SkipZeroRows sparsity modes, emitted as machine-readable JSON
+//! `SkipZeroRows` sparsity modes, emitted as machine-readable JSON
 //! (`BENCH_functional.json`) so CI can track the perf trajectory of the
 //! simulator per PR.
 //!

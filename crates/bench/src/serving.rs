@@ -362,7 +362,7 @@ mod tests {
         assert!(json.contains("\"policy\": \"slo-adaptive\""));
         assert!(json.contains("\"trace\": \"closed-loop\""));
         assert!(json.contains("\"engine_identical\": true"));
-        assert!(json.ends_with("}"));
+        assert!(json.ends_with('}'));
 
         let text = render_text(&bench);
         assert!(text.contains("Serving under load"));

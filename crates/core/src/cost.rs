@@ -4,7 +4,7 @@
 //!
 //! - [`PaperCostModel`] uses the constants the paper publishes (236 cycles
 //!   per 8-bit MAC, `n^2 + 5n - 2` multiplication, 132-cycle reduction
-//!   steps derived from the Conv2D_2b worked example, `1.5n^2 + 5.5n`
+//!   steps derived from the `Conv2D_2b` worked example, `1.5n^2 + 5.5n`
 //!   division). Figure/table regeneration uses this model.
 //! - [`DerivedCostModel`] uses the micro-op sequence lengths of the
 //!   `nc-sram` implementation; a test executes the real bit-serial ops and
@@ -123,7 +123,7 @@ pub trait CostModel: fmt::Debug + Send + Sync {
 }
 
 /// The paper's published constants (Section III and the Section VI-A
-/// Conv2D_2b worked example: 236 cycles/MAC, 660 reduction cycles for 32
+/// `Conv2D_2b` worked example: 236 cycles/MAC, 660 reduction cycles for 32
 /// channels => 132 per step).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PaperCostModel;
@@ -138,7 +138,7 @@ impl PaperCostModel {
     /// The paper's division cost formula `1.5n^2 + 5.5n`.
     #[must_use]
     pub fn div_cycles(n: u64) -> u64 {
-        (3 * n * n + 11 * n) / 2
+        u64::midpoint(3 * n * n, 11 * n)
     }
 
     /// The paper's addition cost `n + 1`.
@@ -196,7 +196,7 @@ impl CostModel for PaperCostModel {
     }
 
     fn minmax_tree_cycles(&self, lanes: usize) -> u64 {
-        let steps = lanes.next_power_of_two().trailing_zeros() as u64;
+        let steps = u64::from(lanes.next_power_of_two().trailing_zeros());
         // Initial copy (paper: outputs are first duplicated so min and max
         // reduce together) + per-step move & compare for both trees.
         66 + steps * 2 * self.reduction_step_cycles()
@@ -281,7 +281,7 @@ impl CostModel for DerivedCostModel {
     }
 
     fn minmax_tree_cycles(&self, lanes: usize) -> u64 {
-        let steps = lanes.next_power_of_two().trailing_zeros() as u64;
+        let steps = u64::from(lanes.next_power_of_two().trailing_zeros());
         // Duplicate outputs (2*32 move), then per step: move (64) + 32-bit
         // max (3*32+2 = 98) for each of the min and max trees.
         64 + steps * 2 * (64 + 98)

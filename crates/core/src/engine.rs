@@ -56,11 +56,7 @@ impl ExecutionEngine {
     /// single-core hosts).
     #[must_use]
     pub fn auto() -> Self {
-        ExecutionEngine::from_threads(
-            thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-        )
+        ExecutionEngine::from_threads(thread::available_parallelism().map_or(1, NonZeroUsize::get))
     }
 
     /// Number of worker threads this engine uses (1 for sequential).

@@ -16,7 +16,7 @@
 //!    inter-array transfer + add) collapses channels.
 //! 2. **Accumulator assembly** — `ACC = S1 - zp_w*S2 + C0(m)` via scalar
 //!    multiply and region subtract/add over 40-bit two's-complement
-//!    operands, then the MSB-masked ReLU.
+//!    operands, then the MSB-masked `ReLU`.
 //! 3. **Requantization** — subtract the layer minimum, scalar-multiply by
 //!    the CPU-provided multiplier, shift by row re-addressing, saturate.
 //!
@@ -49,15 +49,12 @@ use nc_dnn::{
     Requantizer, Shape,
 };
 use nc_sram::ops::copy_lanes_between;
-use nc_sram::{ArrayPool, ComputeArray, CycleStats, Operand, SramError, COLS};
+use nc_sram::{ArrayPool, ComputeArray, CycleStats, SramError, COLS};
 
 use crate::engine::ExecutionEngine;
+use crate::layout::{self, DUMP_ROW, ZERO_ROW};
 use crate::mapping::{chunk_filter, chunk_window_bytes, conv_lane_geometry};
 use crate::sparsity::SparsityMode;
-
-/// The dedicated all-zero row every executor array reserves (mapping layer
-/// convention; see [`ComputeArray::set_zero_row`]).
-const ZERO_ROW: usize = 255;
 
 /// Result of a functional (bit-accurate) model execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,6 +211,14 @@ impl AccChunk {
 
 impl Exec {
     fn new(engine: ExecutionEngine, mode: SparsityMode) -> Result<Self> {
+        // Debug-mode pre-pass: prove every shard-job row layout hazard-free
+        // before the first array is touched (`nc-verify` runs the same
+        // descriptors statically with structured diagnostics).
+        #[cfg(debug_assertions)]
+        {
+            let hazards = layout::validate_plan();
+            assert!(hazards.is_empty(), "executor plan hazards: {hazards:?}");
+        }
         Ok(Exec {
             cycles: CycleStats::new(),
             engine,
@@ -383,7 +388,7 @@ impl Exec {
     // Pass 1: MACs + grouped channel reduction
     // ------------------------------------------------------------------
 
-    /// Computes the (ReLU'd, when fused) integer accumulators of one
+    /// Computes the (`ReLU`'d, when fused) integer accumulators of one
     /// convolution sub-layer entirely with bit-serial array operations.
     ///
     /// Every output window is an independent shard job (it owns its arrays
@@ -644,16 +649,19 @@ fn mac_reduce_run(
     arrays_per_filter: usize,
     mode: SparsityMode,
 ) -> Result<(Vec<u64>, Vec<u64>)> {
-    // Row layout of the pass-1 array (all regions disjoint, 202 rows).
-    let filter_byte = Operand::new(0, 8)?;
-    let input_byte = Operand::new(8, 8)?;
-    let scratch16 = Operand::new(16, 16)?;
-    let partial = Operand::new(32, 24)?;
-    let s2sum = Operand::new(56, 16)?;
-    let seg_a = Operand::new(72, 32)?;
-    let seg_b = Operand::new(104, 32)?;
-    let s2_a = Operand::new(136, 32)?;
-    let s2_b = Operand::new(168, 32)?;
+    // Row layout of the pass-1 array (all regions disjoint, 202 rows) —
+    // shared with the static checker via `crate::layout`.
+    let layout::MacReduceLayout {
+        filter_byte,
+        input_byte,
+        scratch16,
+        partial,
+        s2sum,
+        seg_a,
+        seg_b,
+        s2_a,
+        s2_b,
+    } = layout::MacReduceLayout::new();
 
     let groups = filters.len();
     let mut partial_arrays = Vec::with_capacity(arrays_per_filter);
@@ -733,7 +741,7 @@ fn mac_reduce_run(
 }
 
 /// Assembles `ACC = S1 - zp_w*S2 + C0` in a 40-bit two's-complement
-/// region and applies the MSB-masked ReLU when fused (pass 2).
+/// region and applies the MSB-masked `ReLU` when fused (pass 2).
 fn assemble_acc(
     pool: &ArrayPool,
     cycles: &mut CycleStats,
@@ -744,12 +752,14 @@ fn assemble_acc(
     relu: bool,
 ) -> Result<i64> {
     const W: usize = 40;
-    let s1_op = Operand::new(0, 32)?;
-    let s2_op = Operand::new(32, 32)?;
-    let t = Operand::new(64, W)?;
-    let u = Operand::new(104, W)?;
-    let scratch = Operand::new(144, W)?;
-    let c0_op = Operand::new(184, W)?;
+    let layout::AssembleLayout {
+        s1_op,
+        s2_op,
+        t,
+        u,
+        scratch,
+        c0_op,
+    } = layout::AssembleLayout::new();
     let mut arr = pool.acquire();
 
     arr.poke_lane(0, s1_op, s1);
@@ -768,12 +778,9 @@ fn assemble_acc(
 
 /// One 256-lane min/max ranging run over a chunk of accumulators.
 fn min_max_chunk(pool: &ArrayPool, chunk: &[i64]) -> Result<(i64, i64, CycleStats)> {
-    const W: usize = 40;
     const OFFSET: i64 = 1 << 38; // |ACC| < 2^38 stays positive
-    let v = Operand::new(0, W)?;
-    let scratch = Operand::new(40, W)?;
-    let cmp = Operand::new(80, W)?;
-    const DUMP: usize = 250;
+    let layout::RangingLayout { v, scratch, cmp } = layout::RangingLayout::new();
+    const DUMP: usize = DUMP_ROW;
 
     let mut cycles = CycleStats::new();
     let mut min = i64::MAX;
@@ -803,10 +810,9 @@ fn requant_chunk(
     chunk: &[i64],
     requant: Requantizer,
 ) -> Result<(Vec<u8>, CycleStats)> {
-    let d_op = Operand::new(0, 40)?;
+    let layout::RequantLayout { d_op, prod } = layout::RequantLayout::new();
     let d32 = d_op.slice(0, 32)?;
-    let prod = Operand::new(40, 48)?;
-    const DUMP: usize = 250;
+    const DUMP: usize = DUMP_ROW;
 
     let mut cycles = CycleStats::new();
     let mut arr = pool.acquire();
@@ -834,8 +840,7 @@ fn code_requant_chunk(
     chunk: &[u8],
     map: CodeRequant,
 ) -> Result<(Vec<u8>, CycleStats)> {
-    let q_in = Operand::new(0, 8)?;
-    let prod = Operand::new(8, 48)?;
+    let layout::CodeRequantLayout { q_in, prod } = layout::CodeRequantLayout::new();
     let m_abs = map.m.unsigned_abs();
 
     let mut cycles = CycleStats::new();
@@ -849,7 +854,7 @@ fn code_requant_chunk(
     cycles += arr.add_scalar_signed(prod, map.c)?;
     cycles += arr.relu(prod)?;
     let shifted = prod.slice(map.sh as usize, 16)?;
-    cycles += arr.clamp_max_scalar(shifted, 255, 250)?;
+    cycles += arr.clamp_max_scalar(shifted, 255, DUMP_ROW)?;
     let q_op = shifted.slice(0, 8)?;
     let mut out = vec![0u8; chunk.len()];
     for (lane, byte) in out.iter_mut().enumerate() {
@@ -865,10 +870,8 @@ fn pool_max_chunk(
     chunk: &[Vec<u8>],
     max_window: usize,
 ) -> Result<(Vec<u8>, CycleStats)> {
-    let acc = Operand::new(0, 8)?;
-    let x = Operand::new(8, 8)?;
-    let scratch = Operand::new(16, 8)?;
-    const DUMP: usize = 250;
+    let layout::PoolMaxLayout { acc, x, scratch } = layout::PoolMaxLayout::new();
+    const DUMP: usize = DUMP_ROW;
 
     let mut cycles = CycleStats::new();
     let mut arr = pool.acquire();
@@ -898,13 +901,15 @@ fn pool_avg_chunk(
     chunk: &[Vec<u8>],
     max_window: usize,
 ) -> Result<(Vec<u8>, CycleStats)> {
-    let x = Operand::new(0, 8)?;
-    let sum = Operand::new(8, 16)?;
-    let den = Operand::new(24, 8)?;
-    let quot = Operand::new(32, 16)?;
-    let rem = Operand::new(48, 9)?;
-    let trial = Operand::new(57, 9)?;
-    let notden = Operand::new(66, 9)?;
+    let layout::PoolAvgLayout {
+        x,
+        sum,
+        den,
+        quot,
+        rem,
+        trial,
+        notden,
+    } = layout::PoolAvgLayout::new();
 
     let mut cycles = CycleStats::new();
     let mut arr = pool.acquire();

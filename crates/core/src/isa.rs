@@ -17,7 +17,7 @@ pub enum CacheInstruction {
     Reduce,
     /// Data move between word lines / arrays / the reserved way.
     Move,
-    /// Max/min compare-and-select (pooling, ranging, ReLU masks).
+    /// Max/min compare-and-select (pooling, ranging, `ReLU` masks).
     Compare,
     /// Requantization scalar op (multiply/add/shift by CPU constants).
     Quantize,

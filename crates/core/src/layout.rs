@@ -1,0 +1,412 @@
+//! Operand layouts of the functional executor's shard jobs — the single
+//! source of truth for which word-line ranges each in-cache pass occupies.
+//!
+//! The bit-accurate executor ([`crate::functional`]) stages every pass into
+//! fixed row regions of a 256-row array. Those regions used to live as
+//! inline `Operand::new` calls deep inside each shard job, where an overlap
+//! or out-of-bounds slip would only surface as a wrong answer at simulation
+//! time. This module names every region once, so:
+//!
+//! - the executor builds its operands from here (no drift possible),
+//! - [`validate_plan`] proves the whole plan hazard-free before the first
+//!   row is touched (debug-mode pre-pass in the executor), and
+//! - the `nc-verify` static checker consumes the same descriptors to emit
+//!   structured diagnostics without executing anything.
+
+use nc_sram::{Operand, ROWS};
+
+/// The dedicated all-zero row every executor array reserves (mapping-layer
+/// convention; see `ComputeArray::set_zero_row`).
+pub const ZERO_ROW: usize = 255;
+
+/// The scratch row comparison/clamp micro-ops dump their borrow bit into.
+pub const DUMP_ROW: usize = 250;
+
+/// A named operand region of one shard-job layout.
+pub type NamedOperand = (&'static str, Operand);
+
+fn op(base: usize, bits: usize) -> Operand {
+    Operand::new(base, bits).expect("static executor layout is in bounds")
+}
+
+/// Pass 1 (MAC + grouped channel reduction) row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct MacReduceLayout {
+    /// Streamed filter byte of the current tap.
+    pub filter_byte: Operand,
+    /// Streamed input byte of the current tap.
+    pub input_byte: Operand,
+    /// 16-bit product scratch of the bit-serial multiply.
+    pub scratch16: Operand,
+    /// 24-bit per-lane partial sum `S1`.
+    pub partial: Operand,
+    /// 16-bit zero-point-correction running sum `S2`.
+    pub s2sum: Operand,
+    /// 32-bit reduction segment of `S1` (Figure 10b).
+    pub seg_a: Operand,
+    /// Second 32-bit reduction operand of `S1`.
+    pub seg_b: Operand,
+    /// 32-bit reduction segment of `S2`.
+    pub s2_a: Operand,
+    /// Second 32-bit reduction operand of `S2`.
+    pub s2_b: Operand,
+}
+
+impl MacReduceLayout {
+    /// The layout used by every pass-1 shard job.
+    #[must_use]
+    pub fn new() -> Self {
+        MacReduceLayout {
+            filter_byte: op(0, 8),
+            input_byte: op(8, 8),
+            scratch16: op(16, 16),
+            partial: op(32, 24),
+            s2sum: op(56, 16),
+            seg_a: op(72, 32),
+            seg_b: op(104, 32),
+            s2_a: op(136, 32),
+            s2_b: op(168, 32),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![
+            ("filter_byte", self.filter_byte),
+            ("input_byte", self.input_byte),
+            ("scratch16", self.scratch16),
+            ("partial", self.partial),
+            ("s2sum", self.s2sum),
+            ("seg_a", self.seg_a),
+            ("seg_b", self.seg_b),
+            ("s2_a", self.s2_a),
+            ("s2_b", self.s2_b),
+        ]
+    }
+}
+
+impl Default for MacReduceLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pass 2 (accumulator assembly `ACC = S1 - zp_w*S2 + C0`) row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct AssembleLayout {
+    /// 32-bit staged `S1`.
+    pub s1_op: Operand,
+    /// 32-bit staged `S2`.
+    pub s2_op: Operand,
+    /// 40-bit two's-complement accumulator `T`.
+    pub t: Operand,
+    /// 40-bit product region `U = zp_w * S2`.
+    pub u: Operand,
+    /// 40-bit subtraction scratch.
+    pub scratch: Operand,
+    /// 40-bit per-channel constant `C0`.
+    pub c0_op: Operand,
+}
+
+impl AssembleLayout {
+    /// The layout used by every pass-2 assembly job.
+    #[must_use]
+    pub fn new() -> Self {
+        AssembleLayout {
+            s1_op: op(0, 32),
+            s2_op: op(32, 32),
+            t: op(64, 40),
+            u: op(104, 40),
+            scratch: op(144, 40),
+            c0_op: op(184, 40),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![
+            ("s1_op", self.s1_op),
+            ("s2_op", self.s2_op),
+            ("t", self.t),
+            ("u", self.u),
+            ("scratch", self.scratch),
+            ("c0_op", self.c0_op),
+        ]
+    }
+}
+
+impl Default for AssembleLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Dynamic-ranging (in-array min/max tree) row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct RangingLayout {
+    /// 40-bit offset accumulator value.
+    pub v: Operand,
+    /// 40-bit reduction scratch.
+    pub scratch: Operand,
+    /// 40-bit comparison scratch.
+    pub cmp: Operand,
+}
+
+impl RangingLayout {
+    /// The layout used by every ranging job (dump row: [`DUMP_ROW`]).
+    #[must_use]
+    pub fn new() -> Self {
+        RangingLayout {
+            v: op(0, 40),
+            scratch: op(40, 40),
+            cmp: op(80, 40),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![("v", self.v), ("scratch", self.scratch), ("cmp", self.cmp)]
+    }
+}
+
+impl Default for RangingLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pass 3 (requantization) row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct RequantLayout {
+    /// 40-bit shifted accumulator `D`.
+    pub d_op: Operand,
+    /// 48-bit scalar-multiply product.
+    pub prod: Operand,
+}
+
+impl RequantLayout {
+    /// The layout used by every pass-3 job (dump row: [`DUMP_ROW`]).
+    #[must_use]
+    pub fn new() -> Self {
+        RequantLayout {
+            d_op: op(0, 40),
+            prod: op(40, 48),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![("d_op", self.d_op), ("prod", self.prod)]
+    }
+}
+
+impl Default for RequantLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Code-to-code requantization row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeRequantLayout {
+    /// 8-bit input code.
+    pub q_in: Operand,
+    /// 48-bit multiply/add/shift region.
+    pub prod: Operand,
+}
+
+impl CodeRequantLayout {
+    /// The layout used by every code-requant job (dump row: [`DUMP_ROW`]).
+    #[must_use]
+    pub fn new() -> Self {
+        CodeRequantLayout {
+            q_in: op(0, 8),
+            prod: op(8, 48),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![("q_in", self.q_in), ("prod", self.prod)]
+    }
+}
+
+impl Default for CodeRequantLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Max-pooling row layout.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolMaxLayout {
+    /// 8-bit running maximum.
+    pub acc: Operand,
+    /// 8-bit streamed window element.
+    pub x: Operand,
+    /// 8-bit comparison scratch.
+    pub scratch: Operand,
+}
+
+impl PoolMaxLayout {
+    /// The layout used by every max-pool job (dump row: [`DUMP_ROW`]).
+    #[must_use]
+    pub fn new() -> Self {
+        PoolMaxLayout {
+            acc: op(0, 8),
+            x: op(8, 8),
+            scratch: op(16, 8),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![("acc", self.acc), ("x", self.x), ("scratch", self.scratch)]
+    }
+}
+
+impl Default for PoolMaxLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Average-pooling row layout (window sum + restoring division).
+#[derive(Debug, Clone, Copy)]
+pub struct PoolAvgLayout {
+    /// 8-bit streamed window element.
+    pub x: Operand,
+    /// 16-bit window sum.
+    pub sum: Operand,
+    /// 8-bit per-lane valid-element count (divisor).
+    pub den: Operand,
+    /// 16-bit quotient.
+    pub quot: Operand,
+    /// 9-bit remainder.
+    pub rem: Operand,
+    /// 9-bit trial-subtraction scratch.
+    pub trial: Operand,
+    /// 9-bit complemented-divisor scratch.
+    pub notden: Operand,
+}
+
+impl PoolAvgLayout {
+    /// The layout used by every average-pool job.
+    #[must_use]
+    pub fn new() -> Self {
+        PoolAvgLayout {
+            x: op(0, 8),
+            sum: op(8, 16),
+            den: op(24, 8),
+            quot: op(32, 16),
+            rem: op(48, 9),
+            trial: op(57, 9),
+            notden: op(66, 9),
+        }
+    }
+
+    /// Every region with its name, for generic layout checking.
+    #[must_use]
+    pub fn named(&self) -> Vec<NamedOperand> {
+        vec![
+            ("x", self.x),
+            ("sum", self.sum),
+            ("den", self.den),
+            ("quot", self.quot),
+            ("rem", self.rem),
+            ("trial", self.trial),
+            ("notden", self.notden),
+        ]
+    }
+}
+
+impl Default for PoolAvgLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Every shard-job layout with its name, for exhaustive checking.
+#[must_use]
+pub fn all_layouts() -> Vec<(&'static str, Vec<NamedOperand>)> {
+    vec![
+        ("mac_reduce", MacReduceLayout::new().named()),
+        ("assemble_acc", AssembleLayout::new().named()),
+        ("ranging", RangingLayout::new().named()),
+        ("requant", RequantLayout::new().named()),
+        ("code_requant", CodeRequantLayout::new().named()),
+        ("pool_max", PoolMaxLayout::new().named()),
+        ("pool_avg", PoolAvgLayout::new().named()),
+    ]
+}
+
+/// Statically validates every shard-job layout: all regions in bounds,
+/// pairwise disjoint, and clear of the reserved zero and dump rows.
+///
+/// Returns one human-readable violation per hazard (empty = clean). The
+/// functional executor runs this as a debug-mode pre-pass before touching
+/// any array; `nc-verify` re-runs the same descriptors with structured
+/// error codes.
+#[must_use]
+pub fn validate_plan() -> Vec<String> {
+    let mut violations = Vec::new();
+    for (job, operands) in all_layouts() {
+        for (i, (name, o)) in operands.iter().enumerate() {
+            if o.rows().end > ROWS {
+                violations.push(format!("{job}: {name} {o} exceeds {ROWS} word lines"));
+            }
+            for reserved in [ZERO_ROW, DUMP_ROW] {
+                if o.contains_row(reserved) {
+                    violations.push(format!("{job}: {name} {o} claims reserved row {reserved}"));
+                }
+            }
+            for (other_name, other) in &operands[i + 1..] {
+                if o.overlaps(other) {
+                    violations.push(format!("{job}: {name} {o} overlaps {other_name} {other}"));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_layouts_are_hazard_free() {
+        assert_eq!(validate_plan(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn layouts_expose_every_field() {
+        // `named()` must stay in sync with the struct fields — a region
+        // missing from `named()` silently escapes all static checking.
+        assert_eq!(MacReduceLayout::new().named().len(), 9);
+        assert_eq!(AssembleLayout::new().named().len(), 6);
+        assert_eq!(RangingLayout::new().named().len(), 3);
+        assert_eq!(RequantLayout::new().named().len(), 2);
+        assert_eq!(CodeRequantLayout::new().named().len(), 2);
+        assert_eq!(PoolMaxLayout::new().named().len(), 3);
+        assert_eq!(PoolAvgLayout::new().named().len(), 7);
+    }
+
+    #[test]
+    fn reserved_rows_sit_above_every_layout() {
+        for (job, operands) in all_layouts() {
+            for (name, o) in operands {
+                assert!(
+                    o.rows().end <= DUMP_ROW,
+                    "{job}/{name} must stay below the dump row"
+                );
+            }
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! - [`isa`]: the Section IV-F instruction/FSM execution model;
 //! - [`engine`]: the work-sharded execution engine (sequential or threaded
 //!   backends) the simulators dispatch independent shard jobs through;
+//! - [`layout`]: the named operand-row layouts of every executor shard job,
+//!   shared with the `nc-verify` static plan checker;
 //! - [`functional`]: the bit-accurate executor that runs layers on real
 //!   [`nc_sram::ComputeArray`]s and must match the [`nc_dnn::reference`]
 //!   golden model bit-for-bit.
@@ -36,6 +38,22 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: the timing/energy models convert cycle counters and
+// byte counts to f64 throughout (bounded far below 2^52); tests compare
+// exact rational outputs with `==`; shard-job helpers are declared next to
+// the loops that dispatch them; bytecount would add a dependency.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::float_cmp,
+    clippy::items_after_statements,
+    clippy::naive_bytecount,
+    clippy::too_many_lines
+)]
 
 pub mod batching;
 mod config;
@@ -44,6 +62,7 @@ pub mod energy;
 pub mod engine;
 pub mod functional;
 pub mod isa;
+pub mod layout;
 pub mod mapping;
 pub mod sparsity;
 pub mod timing;

@@ -6,7 +6,7 @@
 //! bit lines one filter occupies, how many filters fit in one 8KB array,
 //! how many filter instances the whole cache computes in parallel, and how
 //! many serial rounds the sub-layer therefore needs. The paper's worked
-//! example (Conv2D_2b: ~32K parallel convolutions, 43 serial rounds, 99.7%
+//! example (`Conv2D_2b`: ~32K parallel convolutions, 43 serial rounds, 99.7%
 //! utilization) is reproduced by tests.
 
 use nc_dnn::{Conv2d, ConvSpec, Layer, Model, PoolKind, Shape};
@@ -289,7 +289,7 @@ pub struct ConvMapping {
 
 impl ConvMapping {
     /// Compute-array utilization during convolution rounds (the paper
-    /// reports 99.7% for Conv2D_2b).
+    /// reports 99.7% for `Conv2D_2b`).
     #[must_use]
     pub fn utilization(&self) -> f64 {
         self.total_convs as f64 / (self.rounds as f64 * self.parallel_instances as f64)

@@ -409,7 +409,7 @@ pub struct ActivationStats {
     /// execution.
     pub total_rounds: u64,
     /// Input codes equal to the input zero point (exactly-zero real
-    /// activations — the ReLU footprint).
+    /// activations — the `ReLU` footprint).
     pub zero_codes: usize,
     /// Total input codes of the sub-layer's input tensor.
     pub codes: usize,

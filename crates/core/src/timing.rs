@@ -8,6 +8,7 @@
 //! way. Phases do not overlap, matching the paper's breakdown accounting.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use nc_dnn::{Model, PoolKind};
 use nc_geometry::SimTime;
@@ -232,9 +233,9 @@ impl InferenceReport {
         let mut write_row = |name: &str, phases: &PhaseBreakdown| {
             out.push_str(name);
             for phase in Phase::ALL {
-                out.push_str(&format!(",{:.6}", phases.get(phase).as_millis_f64()));
+                let _ = write!(out, ",{:.6}", phases.get(phase).as_millis_f64());
             }
-            out.push_str(&format!(",{:.6}\n", phases.total().as_millis_f64()));
+            let _ = writeln!(out, ",{:.6}", phases.total().as_millis_f64());
         };
         for layer in &self.layers {
             write_row(&layer.name, &layer.phases);
@@ -283,7 +284,7 @@ impl fmt::Display for InferenceReport {
 #[must_use]
 pub fn time_inference(config: &SystemConfig, model: &Model) -> InferenceReport {
     let plans = plan_model_with(model, &config.geometry, config.sparsity);
-    time_plans(config, model, plans)
+    time_plans(config, model, &plans)
 }
 
 /// [`time_inference`] with the MAC phase priced for one **measured input**:
@@ -300,10 +301,10 @@ pub fn time_inference_with_profile(
 ) -> InferenceReport {
     let mut plans = plan_model_with(model, &config.geometry, config.sparsity);
     profile.apply_to_plans(&mut plans);
-    time_plans(config, model, plans)
+    time_plans(config, model, &plans)
 }
 
-fn time_plans(config: &SystemConfig, model: &Model, plans: Vec<LayerPlan>) -> InferenceReport {
+fn time_plans(config: &SystemConfig, model: &Model, plans: &[LayerPlan]) -> InferenceReport {
     let layers = config
         .parallelism
         .run(plans.len(), |i| time_layer(config, &plans[i], i == 0));

@@ -2,11 +2,11 @@
 //! paper's benchmark model: 20 top-level layers, 94 convolution sub-layers.
 //!
 //! The structure below reproduces the TF-slim `inception_v3` network the
-//! paper profiles; its Table I row values (H, RxS, E, C, M, convolution
+//! paper profiles; its Table I row values (H, `RxS`, E, C, M, convolution
 //! counts, filter megabytes) are derived from this graph and asserted
 //! against the paper in `summary` tests. Weights are synthetic (seeded
 //! pseudo-random codes) — the schedule and cycle counts of Neural Cache are
-//! data-independent (Section VI-A), so real ImageNet weights would change
+//! data-independent (Section VI-A), so real `ImageNet` weights would change
 //! no timing result; see DESIGN.md §4.
 
 use rand::rngs::SmallRng;
@@ -34,7 +34,7 @@ pub fn inception_v3_with_weights(seed: u64) -> Model {
 /// Number of convolution sub-layers the paper quotes for Inception v3
 /// ("94 convolutional sub-layers", Section II-A) — the graph has 95
 /// convolution nodes including the final classifier, which the paper counts
-/// separately because TensorFlow labels it FullyConnected even though it
+/// separately because `TensorFlow` labels it `FullyConnected` even though it
 /// executes as a 1x1 convolution.
 pub const CONV_SUBLAYERS: usize = 94;
 
@@ -251,7 +251,7 @@ fn inception_c(b: &mut B, name: &str, in_c: usize) -> Layer {
     })
 }
 
-/// Stride-1 SAME convolution with ReLU — the common case inside blocks.
+/// Stride-1 SAME convolution with `ReLU` — the common case inside blocks.
 fn b_conv(b: &mut B, name: &str, k: (usize, usize), c: usize, m: usize) -> Conv2d {
     b.conv(name, k, c, m, 1, Padding::Same, true)
 }

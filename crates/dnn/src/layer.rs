@@ -26,7 +26,7 @@ pub struct ConvSpec {
     pub stride: usize,
     /// Spatial padding policy.
     pub padding: Padding,
-    /// Whether a ReLU is fused after accumulation (true for every Inception
+    /// Whether a `ReLU` is fused after accumulation (true for every Inception
     /// conv except the final classifier).
     pub relu: bool,
 }

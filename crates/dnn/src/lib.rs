@@ -33,6 +33,20 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: quantized arithmetic converts between integer widths
+// and f64 by design (the casts *are* the quantization spec); the workload
+// builders are long but linear; bytecount would add a dependency for a
+// cold path.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::naive_bytecount,
+    clippy::too_many_lines
+)]
 
 pub mod inception;
 pub mod layer;

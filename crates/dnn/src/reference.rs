@@ -22,7 +22,7 @@ use crate::{
 pub struct SublayerRecord {
     /// Sub-layer name.
     pub name: String,
-    /// Measured accumulator minimum (after fused ReLU, when present).
+    /// Measured accumulator minimum (after fused `ReLU`, when present).
     pub acc_min: i64,
     /// Measured accumulator maximum.
     pub acc_max: i64,
@@ -175,7 +175,7 @@ pub fn conv_accumulate(conv: &Conv2d, input: &QTensor) -> AccTensor {
     acc
 }
 
-/// Runs one standalone convolution sub-layer: accumulate, fused ReLU,
+/// Runs one standalone convolution sub-layer: accumulate, fused `ReLU`,
 /// dynamic ranging, requantize.
 #[must_use]
 pub fn run_conv(conv: &Conv2d, input: &QTensor) -> (QTensor, SublayerRecord) {

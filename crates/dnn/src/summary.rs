@@ -12,6 +12,8 @@
 //! - the input size of a mixed block counts the block input once per
 //!   branch (each branch independently streams the block input).
 
+use std::fmt::Write;
+
 use crate::{Branch, BranchOp, Layer, Model, Shape};
 
 /// One row of Table I.
@@ -199,10 +201,11 @@ impl RangeAcc {
 #[must_use]
 pub fn render_table1(rows: &[LayerSummary]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<18} {:>4} {:>7} {:>4} {:>11} {:>11} {:>9} {:>11} {:>10}\n",
+    let _ = writeln!(
+        out,
+        "{:<18} {:>4} {:>7} {:>4} {:>11} {:>11} {:>9} {:>11} {:>10}",
         "Layer", "H", "RxS", "E", "C", "M", "Conv", "Filter/MB", "Input/MB"
-    ));
+    );
     for r in rows {
         let fmt_range = |lo: usize, hi: usize| {
             if lo == hi {
@@ -211,8 +214,9 @@ pub fn render_table1(rows: &[LayerSummary]) -> String {
                 format!("{lo}-{hi}")
             }
         };
-        out.push_str(&format!(
-            "{:<18} {:>4} {:>7} {:>4} {:>11} {:>11} {:>9} {:>11.3} {:>10.3}\n",
+        let _ = writeln!(
+            out,
+            "{:<18} {:>4} {:>7} {:>4} {:>11} {:>11} {:>9} {:>11.3} {:>10.3}",
             r.name,
             r.h,
             fmt_range(r.window_min, r.window_max),
@@ -222,7 +226,7 @@ pub fn render_table1(rows: &[LayerSummary]) -> String {
             r.convolutions,
             r.filter_mb,
             r.input_mb,
-        ));
+        );
     }
     out
 }
@@ -238,7 +242,7 @@ mod tests {
 
     /// The published Table I. `None` marks cells where the paper's number is
     /// inconsistent with its own convolution counts / the standard Inception
-    /// v3 graph (Mixed_6e conv count and filter size; Mixed_6a filter size —
+    /// v3 graph (`Mixed_6e` conv count and filter size; `Mixed_6a` filter size —
     /// DESIGN.md §6 and EXPERIMENTS.md).
     const PAPER: &[PaperRow] = &[
         ("Conv2d_1a_3x3", 299, 149, Some(710_432), Some(0.001), 0.256),

@@ -216,7 +216,7 @@ impl AccTensor {
         (min, max)
     }
 
-    /// Applies ReLU in the accumulator domain (real zero is accumulator
+    /// Applies `ReLU` in the accumulator domain (real zero is accumulator
     /// zero, so `max(acc, 0)` is exact).
     pub fn relu(&mut self) {
         for v in &mut self.data {

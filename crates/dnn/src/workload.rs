@@ -100,7 +100,7 @@ pub fn relu_act_quant() -> ActQuant {
 }
 
 /// Generates a ReLU-sparse activation tensor with controllable sparsity:
-/// each code is exactly zero with probability `zero_fraction` (the ReLU
+/// each code is exactly zero with probability `zero_fraction` (the `ReLU`
 /// footprint), and surviving codes are masked to their low `keep_bits`
 /// bits (the low-magnitude tail real post-ReLU distributions have). Uses
 /// [`relu_act_quant`] so zero codes decode to exactly-zero reals.

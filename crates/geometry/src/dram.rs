@@ -1,7 +1,7 @@
 //! DRAM stream model for filter loading and batched output dumps.
 //!
 //! The paper measures fill time with a C micro-benchmark that walks the
-//! exact sets needing data, profiled with VTune to separate DRAM-bound
+//! exact sets needing data, profiled with `VTune` to separate DRAM-bound
 //! cycles (Section V). That measurement collapses to an *effective fill
 //! bandwidth*; this model exposes it as a parameter calibrated so filter
 //! loading lands at the paper's reported ~46% share of inference time

@@ -33,6 +33,17 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: geometry math moves between usize/u64/f64 freely
+// (values are bounded far below 2^52), and the SimTime tests compare exact
+// rational results with `==` on purpose.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp
+)]
 
 mod address;
 mod dram;

@@ -42,6 +42,18 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: the event loop converts tick counters to f64 metrics
+// (bounded far below 2^52) and is one long, linear state machine; tests
+// compare exact rational outputs with `==`.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp,
+    clippy::too_many_lines
+)]
 
 pub mod batcher;
 pub mod metrics;

@@ -388,7 +388,7 @@ impl ComputeArray {
     }
 
     /// Compute cycle: writes an all-zero (or all-one) row to `dst`,
-    /// optionally tag-gated. ReLU uses the tag-gated zero write.
+    /// optionally tag-gated. `ReLU` uses the tag-gated zero write.
     ///
     /// # Errors
     ///

@@ -144,4 +144,105 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SramError>();
     }
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: [(SramError, &[&str]); 11] = [
+            (SramError::RowOutOfRange { row: 300 }, &["row 300", "256"]),
+            (
+                SramError::ColOutOfRange { col: 999 },
+                &["column 999", "256"],
+            ),
+            (
+                SramError::OperandOutOfRange { base: 250, bits: 8 },
+                &["rows 250..258", "256"],
+            ),
+            (SramError::EmptyOperand, &["at least one bit"]),
+            (
+                SramError::OverlappingOperands {
+                    what: "mul product overlaps a factor",
+                },
+                &["operands overlap", "mul product overlaps a factor"],
+            ),
+            (
+                SramError::DestinationTooNarrow {
+                    needed: 17,
+                    available: 16,
+                },
+                &["16 bits", "needs 17"],
+            ),
+            (SramError::SelfActivation { row: 42 }, &["word line 42"]),
+            (SramError::MissingZeroRow, &["all-zero row"]),
+            (SramError::ZeroRowClobbered { row: 255 }, &["zero row 255"]),
+            (
+                SramError::NonPowerOfTwoLanes { lanes: 12 },
+                &["power-of-two", "got 12"],
+            ),
+            (SramError::DivisionByZero { lane: 7 }, &["lane 7"]),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for needle in needles {
+                assert!(
+                    msg.contains(needle),
+                    "{err:?} display {msg:?} lacks {needle:?}"
+                );
+            }
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn errors_round_trip_through_the_error_paths_that_raise_them() {
+        use crate::{ComputeArray, Operand, Predicate};
+        // ColOutOfRange: lane moves past the last bit line.
+        let mut a = ComputeArray::with_zero_row(255).unwrap();
+        let v = Operand::new(0, 8).unwrap();
+        let d = Operand::new(8, 8).unwrap();
+        assert_eq!(
+            a.move_lanes(v, d, 200, 100),
+            Err(SramError::ColOutOfRange { col: 300 })
+        );
+        // SelfActivation: a micro-op sensing one row against itself.
+        assert_eq!(
+            a.op_and(3, 3, 10, Predicate::Always),
+            Err(SramError::SelfActivation { row: 3 })
+        );
+        // ZeroRowClobbered: writing into the dedicated zero row.
+        let z = Operand::new(250, 6).unwrap();
+        assert_eq!(a.zero(z), Err(SramError::ZeroRowClobbered { row: 255 }));
+        // NonPowerOfTwoLanes: tree reduction over 12 lanes.
+        let s = Operand::new(16, 8).unwrap();
+        assert_eq!(
+            a.reduce_sum(v, s, 12),
+            Err(SramError::NonPowerOfTwoLanes { lanes: 12 })
+        );
+        // MissingZeroRow: complement without a configured zero row.
+        let mut bare = ComputeArray::new();
+        assert_eq!(bare.not_region(v, d), Err(SramError::MissingZeroRow));
+        // DestinationTooNarrow: 8+8-bit sum into 7 bits.
+        let narrow = Operand::new(30, 7).unwrap();
+        assert_eq!(
+            a.add(v, d, narrow),
+            Err(SramError::DestinationTooNarrow {
+                needed: 8,
+                available: 7,
+            })
+        );
+        // OverlappingOperands: product aliasing a factor.
+        let prod = Operand::new(4, 16).unwrap();
+        assert!(matches!(
+            a.mul(v, d, prod),
+            Err(SramError::OverlappingOperands { .. })
+        ));
+        // DivisionByZero: broadcast division by the constant zero.
+        let num = Operand::new(0, 8).unwrap();
+        let quot = Operand::new(16, 8).unwrap();
+        let rem = Operand::new(24, 9).unwrap();
+        let trial = Operand::new(33, 9).unwrap();
+        assert_eq!(
+            a.div_scalar(num, 0, quot, rem, trial),
+            Err(SramError::DivisionByZero { lane: 0 })
+        );
+    }
 }

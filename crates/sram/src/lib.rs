@@ -52,6 +52,22 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: cycle/energy accounting converts u64 counters to f64
+// for ratios (precision loss is fine at simulator scale), peek/poke helpers
+// reinterpret two's-complement values, doc panics are internal invariant
+// asserts, and several validators take &self only for API symmetry.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::missing_panics_doc,
+    clippy::unused_self,
+    clippy::float_cmp,
+    clippy::many_single_char_names
+)]
 
 pub mod area;
 mod bitrow;

@@ -113,6 +113,13 @@ impl Operand {
         self.base < other.base + other.bits && other.base < self.base + self.bits
     }
 
+    /// The half-open range of word lines this operand occupies
+    /// (`base..base + bits`), for row-set arithmetic in static checkers.
+    #[must_use]
+    pub fn rows(&self) -> core::ops::Range<usize> {
+        self.base..self.base + self.bits
+    }
+
     /// Returns `true` if `row` lies inside this operand.
     #[must_use]
     pub fn contains_row(&self, row: usize) -> bool {
@@ -190,6 +197,18 @@ mod tests {
         assert!(b.overlaps(&c));
         assert!(a.contains_row(7));
         assert!(!a.contains_row(8));
+    }
+
+    #[test]
+    fn rows_range_matches_overlap_semantics() {
+        let a = Operand::new(10, 8).unwrap();
+        assert_eq!(a.rows(), 10..18);
+        assert_eq!(a.rows().len(), a.bits());
+        let b = Operand::new(17, 4).unwrap();
+        // Range intersection agrees with overlaps().
+        let intersects = a.rows().start < b.rows().end && b.rows().start < a.rows().end;
+        assert_eq!(intersects, a.overlaps(&b));
+        assert!(a.rows().all(|r| a.contains_row(r)));
     }
 
     #[test]

@@ -40,6 +40,14 @@ impl ComputeArray {
                 what: "addition destination partially overlaps an input",
             });
         }
+        // Post-validation invariants every emitted micro-op relies on.
+        debug_assert!(!a.overlaps(&b), "add inputs alias: {a} vs {b}");
+        debug_assert!(
+            a.rows().end <= crate::ROWS
+                && b.rows().end <= crate::ROWS
+                && dst.rows().end <= crate::ROWS,
+            "add operands out of bounds: {a}, {b}, {dst}"
+        );
         let before = self.stats();
         self.preset_carry(false);
         for i in 0..n {

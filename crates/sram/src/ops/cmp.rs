@@ -1,4 +1,4 @@
-//! Comparisons, max/min, ReLU, and saturation — the predication-based
+//! Comparisons, max/min, `ReLU`, and saturation — the predication-based
 //! supporting functions of Section IV-D.
 
 use crate::{ComputeArray, CycleStats, Operand, Predicate, Result, SramError};
@@ -102,7 +102,7 @@ impl ComputeArray {
         Ok(self.stats() - before)
     }
 
-    /// ReLU on a two's-complement operand: lanes with a set sign bit are
+    /// `ReLU` on a two's-complement operand: lanes with a set sign bit are
     /// overwritten with zero, using the MSB as the write-enable mask exactly
     /// as described in Section IV-D. `n + 1` compute cycles.
     ///

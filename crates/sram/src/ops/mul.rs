@@ -50,7 +50,7 @@ impl ComputeArray {
     /// filter bit-slices, and the control FSM learns which rows are
     /// all-zero for free when the transpose unit writes them at filter-load
     /// time (paper Section VII names this sparsity opportunity as future
-    /// work; BitWave develops the same column-wise bit-level skip).
+    /// work; `BitWave` develops the same column-wise bit-level skip).
     /// Skipped rounds are reported via [`CycleStats::skipped_rounds`] and
     /// the saved compute cycles via [`CycleStats::skipped_cycles`].
     ///
@@ -223,6 +223,17 @@ impl ComputeArray {
                 what: "product region overlaps an input",
             });
         }
+        // Post-validation invariants every emitted micro-op relies on.
+        debug_assert!(
+            !a.overlaps(&b) && !prod.overlaps(&a) && !prod.overlaps(&b),
+            "mul operands alias: {a}, {b}, {prod}"
+        );
+        debug_assert!(
+            a.rows().end <= crate::ROWS
+                && b.rows().end <= crate::ROWS
+                && prod.rows().end <= crate::ROWS,
+            "mul operands out of bounds: {a}, {b}, {prod}"
+        );
         Ok(())
     }
 

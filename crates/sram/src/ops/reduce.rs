@@ -251,6 +251,15 @@ impl ComputeArray {
                 what: "reduction value and scratch regions overlap",
             });
         }
+        // Post-validation invariants every reduction step relies on.
+        debug_assert!(
+            !value.overlaps(&scratch),
+            "reduction operands alias: {value} vs {scratch}"
+        );
+        debug_assert!(
+            value.rows().end <= crate::ROWS && scratch.rows().end <= crate::ROWS,
+            "reduction operands out of bounds: {value}, {scratch}"
+        );
         let before = self.stats();
         let mut stride = lanes / 2;
         while stride >= 1 {

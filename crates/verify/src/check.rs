@@ -1,0 +1,526 @@
+//! Hazard checks over schedules, operand layouts, and planned mappings,
+//! plus the static ↔ analytical legs of the cycle reconciliation.
+//!
+//! Every check returns structured [`Diagnostic`]s; an empty vector means
+//! the artifact is provably hazard-free under the modeled port semantics.
+
+use nc_sram::{COLS, ROWS};
+use neural_cache::cost::{CostModel, DerivedCostModel, DATA_BITS};
+use neural_cache::layout::{self, NamedOperand, DUMP_ROW, ZERO_ROW};
+use neural_cache::mapping::ConvMapping;
+use neural_cache::{LaneGeometry, SparsityMode};
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::extract;
+use crate::ir::{Schedule, StepKind};
+
+/// Word-line port budgets of one compute cycle (Section III: two-row
+/// activation with a single write-back driver).
+pub const READ_PORTS: usize = 2;
+/// Write word lines one compute cycle may drive.
+pub const WRITE_PORTS: usize = 1;
+
+/// Checks one extracted schedule for per-cycle port hazards: out-of-bounds
+/// word lines (V002), read-port overflow or duplicate sensing (V003),
+/// write-port overflow (V004), and zero-row clobbering (V005).
+#[must_use]
+pub fn check_schedule(label: &str, s: &Schedule) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (cycle, step) in s.steps.iter().enumerate() {
+        for &row in step.reads.iter().chain(&step.writes) {
+            if row >= ROWS {
+                out.push(
+                    Diagnostic::new(
+                        ErrorCode::RowOutOfBounds,
+                        label,
+                        format!(
+                            "cycle {cycle} ({}) activates word line {row} >= {ROWS}",
+                            step.label
+                        ),
+                    )
+                    .with_rows(row, row + 1),
+                );
+            }
+        }
+        if step.kind == StepKind::Compute {
+            let duplicate = step.reads.len() == 2 && step.reads[0] == step.reads[1];
+            if step.reads.len() > READ_PORTS || duplicate {
+                out.push(
+                    Diagnostic::new(
+                        ErrorCode::ReadPortOverflow,
+                        label,
+                        format!(
+                            "cycle {cycle} ({}) senses rows {:?}: two-row activation \
+                             needs at most {READ_PORTS} distinct word lines",
+                            step.label, step.reads
+                        ),
+                    )
+                    .with_rows(
+                        step.reads.iter().copied().min().unwrap_or(0),
+                        step.reads.iter().copied().max().unwrap_or(0) + 1,
+                    ),
+                );
+            }
+            if step.writes.len() > WRITE_PORTS {
+                out.push(
+                    Diagnostic::new(
+                        ErrorCode::WritePortOverflow,
+                        label,
+                        format!(
+                            "cycle {cycle} ({}) drives {} write word lines {:?}",
+                            step.label,
+                            step.writes.len(),
+                            step.writes
+                        ),
+                    )
+                    .with_rows(
+                        step.writes.iter().copied().min().unwrap_or(0),
+                        step.writes.iter().copied().max().unwrap_or(0) + 1,
+                    ),
+                );
+            }
+        }
+        if step.writes.contains(&ZERO_ROW) {
+            out.push(
+                Diagnostic::new(
+                    ErrorCode::ZeroRowClobbered,
+                    label,
+                    format!(
+                        "cycle {cycle} ({}) writes the dedicated all-zero row {ZERO_ROW}",
+                        step.label
+                    ),
+                )
+                .with_rows(ZERO_ROW, ZERO_ROW + 1),
+            );
+        }
+    }
+    out
+}
+
+/// Lints a named operand set: pairwise overlap (V001), out-of-bounds rows
+/// (V002), zero-row claims (V005), and dump-row claims (V012).
+#[must_use]
+pub fn check_operands(label: &str, operands: &[NamedOperand]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, op) in operands {
+        let rows = op.rows();
+        if rows.end > ROWS {
+            out.push(
+                Diagnostic::new(
+                    ErrorCode::RowOutOfBounds,
+                    format!("{label}/{name}"),
+                    format!(
+                        "operand rows {}..{} exceed the {ROWS}-row array",
+                        rows.start, rows.end
+                    ),
+                )
+                .with_rows(rows.start, rows.end),
+            );
+        }
+        if op.contains_row(ZERO_ROW) {
+            out.push(
+                Diagnostic::new(
+                    ErrorCode::ZeroRowClobbered,
+                    format!("{label}/{name}"),
+                    format!("operand claims the dedicated all-zero row {ZERO_ROW}"),
+                )
+                .with_rows(rows.start, rows.end),
+            );
+        }
+        if op.contains_row(DUMP_ROW) {
+            out.push(
+                Diagnostic::new(
+                    ErrorCode::DumpRowConflict,
+                    format!("{label}/{name}"),
+                    format!("operand claims the comparison dump row {DUMP_ROW}"),
+                )
+                .with_rows(rows.start, rows.end),
+            );
+        }
+    }
+    for (i, (name_a, a)) in operands.iter().enumerate() {
+        for (name_b, b) in &operands[i + 1..] {
+            if a.overlaps(b) {
+                let start = a.rows().start.max(b.rows().start);
+                let end = a.rows().end.min(b.rows().end);
+                out.push(
+                    Diagnostic::new(
+                        ErrorCode::OperandOverlap,
+                        format!("{label}/{name_a}+{name_b}"),
+                        format!("operands {name_a} and {name_b} share word lines"),
+                    )
+                    .with_rows(start, end),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Lints every named operand layout the functional executor ships
+/// ([`layout::all_layouts`]).
+#[must_use]
+pub fn check_layouts() -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, operands) in layout::all_layouts() {
+        out.extend(check_operands(name, &operands));
+    }
+    out
+}
+
+/// Checks a convolution's lane geometry: non-power-of-two reduction spans
+/// (V008) and lane-packing overflow past the array's bit lines (V007).
+#[must_use]
+pub fn check_lane_geometry(label: &str, geom: &LaneGeometry, filters: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !geom.group_span.is_power_of_two() {
+        out.push(Diagnostic::new(
+            ErrorCode::NonPowerOfTwoLanes,
+            label,
+            format!(
+                "group span {} is not a power of two: the reduction tree cannot halve it",
+                geom.group_span
+            ),
+        ));
+    }
+    let packed = geom.group_span * geom.groups_per_array(filters);
+    if packed > COLS {
+        out.push(Diagnostic::new(
+            ErrorCode::LanePackingAlias,
+            label,
+            format!(
+                "{} groups of span {} pack {packed} lanes onto {COLS} bit lines",
+                geom.groups_per_array(filters),
+                geom.group_span
+            ),
+        ));
+    }
+    if geom.group_span * geom.arrays_per_filter < geom.lanes_per_filter {
+        out.push(Diagnostic::new(
+            ErrorCode::LanePackingAlias,
+            label,
+            format!(
+                "filter needs {} lanes but {} array(s) of span {} map only {}",
+                geom.lanes_per_filter,
+                geom.arrays_per_filter,
+                geom.group_span,
+                geom.group_span * geom.arrays_per_filter
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks a planned convolution mapping's word-line budget (V006).
+#[must_use]
+pub fn check_row_budget(label: &str, mapping: &ConvMapping) -> Vec<Diagnostic> {
+    if mapping.rows.fits() {
+        Vec::new()
+    } else {
+        vec![Diagnostic::new(
+            ErrorCode::RowBudgetOverflow,
+            label,
+            format!(
+                "mapping needs {} word lines; the array has {ROWS}",
+                mapping.rows.total()
+            ),
+        )
+        .with_rows(0, mapping.rows.total())]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static MAC-tap schedules and the static <-> analytical reconciliation.
+// ---------------------------------------------------------------------
+
+/// The executor's per-tap MAC schedule (one filter/input byte pair:
+/// multiply into the 16-bit scratch, accumulate into the 24-bit partial,
+/// track the input sum) under `mode`, parameterized by the control-FSM
+/// facts: per-round elision flags and the live weight-bit count.
+#[must_use]
+pub fn mac_tap_schedule(mode: SparsityMode, zero_rounds: &[bool], live_bits: usize) -> Schedule {
+    let l = layout::MacReduceLayout::new();
+    let mut s = match mode {
+        SparsityMode::Dense => extract::mul(l.input_byte, l.filter_byte, l.scratch16),
+        SparsityMode::SkipZeroRows => {
+            extract::mul_skip_zero_rows(l.input_byte, l.filter_byte, l.scratch16, zero_rounds)
+        }
+        SparsityMode::SkipZeroInputs => {
+            extract::mul_skip_zero_input_bits(l.filter_byte, l.input_byte, l.scratch16, zero_rounds)
+        }
+        SparsityMode::SkipBoth => extract::mul_skip_both(
+            l.filter_byte,
+            l.input_byte,
+            l.scratch16,
+            zero_rounds,
+            live_bits,
+        ),
+    };
+    s.extend(extract::add_assign(l.partial, l.scratch16));
+    s.extend(extract::add_assign(l.s2sum, l.input_byte));
+    s
+}
+
+/// The post-MAC reduction schedule of one array (segment widening plus the
+/// grouped channel-reduction trees).
+#[must_use]
+pub fn reduce_schedule(group_span: usize) -> Schedule {
+    let l = layout::MacReduceLayout::new();
+    let mut s = extract::copy_zext(l.partial, l.seg_a);
+    s.extend(extract::copy_zext(l.s2sum, l.s2_a));
+    s.extend(extract::reduce_sum_grouped(l.seg_a, l.seg_b, group_span));
+    s.extend(extract::reduce_sum_grouped(l.s2_a, l.s2_b, group_span));
+    s
+}
+
+/// Schedule-derived tap constants: the dense per-tap MAC cycles and the
+/// per-round cycle cost, measured from the extracted schedules themselves
+/// (never restated as literals).
+#[must_use]
+pub fn schedule_tap_constants() -> (u64, u64) {
+    let all_live = [false; DATA_BITS];
+    let dense = mac_tap_schedule(SparsityMode::Dense, &all_live, DATA_BITS).compute_cycles();
+    let mut one_skip = [false; DATA_BITS];
+    one_skip[0] = true;
+    let skipped =
+        mac_tap_schedule(SparsityMode::SkipZeroRows, &one_skip, DATA_BITS).compute_cycles();
+    (dense, dense - skipped)
+}
+
+/// Static per-tap MAC cycles at fractional skip/live parameters, evaluated
+/// with the **identical** floating-point expression order the analytical
+/// [`CostModel`] uses, so agreement is exact rather than approximate. The
+/// integer anchor points (`k/8` skips, integer live bits) coincide with
+/// the extracted schedules by construction — `schedule_constants_match_*`
+/// tests prove it.
+#[must_use]
+pub fn static_mac_tap(dense_tap: u64, round: u64, c: &ConvMapping) -> f64 {
+    let rounds = DATA_BITS as f64;
+    let dense = dense_tap as f64;
+    let round = round as f64;
+    if c.dynamic_detect {
+        let live = c.live_mult_bits.clamp(0.0, rounds);
+        let exec_round = round - (rounds - live);
+        let base = dense - rounds * round;
+        let detect = rounds;
+        (base + detect + (1.0 - c.input_skip_fraction.clamp(0.0, 1.0)) * rounds * exec_round)
+            .clamp(0.0, dense + detect)
+    } else {
+        let saved = c.simd_skip_fraction.clamp(0.0, 1.0) * rounds * round;
+        (dense - saved).clamp(0.0, dense)
+    }
+}
+
+/// The analytical per-tap MAC cycles of the cost model under the mapping's
+/// sparsity parameters — the exact expression `timing::conv_cycles`
+/// charges per serial MAC.
+#[must_use]
+pub fn analytical_mac_tap(cost: &dyn CostModel, c: &ConvMapping) -> f64 {
+    if c.dynamic_detect {
+        cost.mac_cycles_dynamic(c.input_skip_fraction, c.live_mult_bits)
+    } else {
+        cost.mac_cycles_sparse(c.simd_skip_fraction)
+    }
+}
+
+/// Reconciles one planned convolution's static MAC schedule against the
+/// derived analytical cost model (V009), at the layer's full serial-MAC
+/// scale with the same rounding `timing::conv_cycles` applies.
+#[must_use]
+pub fn check_conv_reconciliation(label: &str, c: &ConvMapping) -> Vec<Diagnostic> {
+    let cost = &DerivedCostModel;
+    let (dense_tap, round) = schedule_tap_constants();
+    let serial_macs = (c.rounds * c.eff_window) as u64;
+    let static_mac = (serial_macs as f64 * static_mac_tap(dense_tap, round, c)).round() as u64;
+    let analytical_mac = (serial_macs as f64 * analytical_mac_tap(cost, c)).round() as u64;
+    if static_mac == analytical_mac {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        ErrorCode::CycleMismatchAnalytical,
+        label,
+        format!(
+            "static schedule prices {serial_macs} serial MACs at {static_mac} cycles; \
+             the {} cost model prices them at {analytical_mac}",
+            cost.name()
+        ),
+    )]
+}
+
+/// Proves the derived cost model's constants equal the extracted schedules
+/// at every integer skip/live anchor point (V009 on any disagreement).
+#[must_use]
+pub fn check_cost_model() -> Vec<Diagnostic> {
+    let cost = &DerivedCostModel;
+    let mut out = Vec::new();
+    let (dense_tap, round) = schedule_tap_constants();
+    if dense_tap != cost.mac_cycles() {
+        out.push(Diagnostic::new(
+            ErrorCode::CycleMismatchAnalytical,
+            "mac_tap/dense",
+            format!(
+                "static dense tap is {dense_tap} cycles; cost model says {}",
+                cost.mac_cycles()
+            ),
+        ));
+    }
+    if round != cost.mul_round_cycles() {
+        out.push(Diagnostic::new(
+            ErrorCode::CycleMismatchAnalytical,
+            "mac_tap/round",
+            format!(
+                "static round cost is {round} cycles; cost model says {}",
+                cost.mul_round_cycles()
+            ),
+        ));
+    }
+    for k in 0..=DATA_BITS {
+        let mut flags = [false; DATA_BITS];
+        for f in flags.iter_mut().take(k) {
+            *f = true;
+        }
+        let skip = k as f64 / DATA_BITS as f64;
+
+        let s = mac_tap_schedule(SparsityMode::SkipZeroRows, &flags, DATA_BITS);
+        let analytical = cost.mac_cycles_sparse(skip);
+        if s.compute_cycles() as f64 != analytical {
+            out.push(Diagnostic::new(
+                ErrorCode::CycleMismatchAnalytical,
+                "mac_tap/skip_rows",
+                format!(
+                    "{k}/{DATA_BITS} rounds elided: static {} vs analytical {analytical}",
+                    s.compute_cycles()
+                ),
+            ));
+        }
+
+        let s = mac_tap_schedule(SparsityMode::SkipZeroInputs, &flags, DATA_BITS);
+        let analytical = cost.mac_cycles_dynamic(skip, DATA_BITS as f64);
+        if s.compute_cycles() as f64 != analytical {
+            out.push(Diagnostic::new(
+                ErrorCode::CycleMismatchAnalytical,
+                "mac_tap/skip_inputs",
+                format!(
+                    "{k}/{DATA_BITS} rounds elided: static {} vs analytical {analytical}",
+                    s.compute_cycles()
+                ),
+            ));
+        }
+
+        for live in 0..=DATA_BITS {
+            let s = mac_tap_schedule(SparsityMode::SkipBoth, &flags, live);
+            let analytical = cost.mac_cycles_dynamic(skip, live as f64);
+            if s.compute_cycles() as f64 != analytical {
+                out.push(Diagnostic::new(
+                    ErrorCode::CycleMismatchAnalytical,
+                    "mac_tap/skip_both",
+                    format!(
+                        "{k}/{DATA_BITS} elided, {live} live bits: static {} vs \
+                         analytical {analytical}",
+                        s.compute_cycles()
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_sram::Operand;
+
+    fn op(base: usize, bits: usize) -> Operand {
+        Operand::new(base, bits).unwrap()
+    }
+
+    #[test]
+    fn clean_schedules_produce_no_diagnostics() {
+        let (a, b, dst) = (op(0, 8), op(8, 8), op(16, 9));
+        assert!(check_schedule("add", &extract::add(a, b, dst)).is_empty());
+        let prod = op(32, 16);
+        assert!(check_schedule("mul", &extract::mul(a, b, prod)).is_empty());
+        let flags = [true, false, true, false, true, false, true, false];
+        assert!(
+            check_schedule("mul_skip", &extract::mul_skip_both(a, b, prod, &flags, 5)).is_empty()
+        );
+    }
+
+    #[test]
+    fn duplicate_sense_is_a_read_port_overflow() {
+        // add with b aliasing a senses row i twice in one cycle.
+        let a = op(0, 8);
+        let s = extract::add(a, a, op(16, 8));
+        let diags = check_schedule("alias", &s);
+        assert_eq!(diags.len(), 8);
+        assert!(diags.iter().all(|d| d.code == ErrorCode::ReadPortOverflow));
+    }
+
+    #[test]
+    fn out_of_bounds_rows_are_flagged() {
+        let mut s = Schedule::new();
+        s.sense1(ROWS, 0, "op_copy");
+        let diags = check_schedule("oob", &s);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ErrorCode::RowOutOfBounds);
+        assert_eq!(diags[0].rows, Some((ROWS, ROWS + 1)));
+    }
+
+    #[test]
+    fn zero_row_writes_are_flagged() {
+        let mut s = Schedule::new();
+        s.write_only(ZERO_ROW, "op_write_const");
+        let diags = check_schedule("clobber", &s);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ErrorCode::ZeroRowClobbered);
+    }
+
+    #[test]
+    fn operand_lints_cover_overlap_and_reserved_rows() {
+        // `Operand::new` already bounds-rejects out-of-range descriptors, so
+        // V002 cannot arise here; it is exercised through `check_schedule`
+        // in `out_of_bounds_rows_are_flagged` instead.
+        let diags = check_operands(
+            "lint",
+            &[
+                ("a", op(0, 16)),
+                ("b", op(8, 8)),
+                ("tall", op(248, 8)),
+                ("dump", op(249, 2)),
+            ],
+        );
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&ErrorCode::OperandOverlap), "{diags:?}");
+        assert!(codes.contains(&ErrorCode::ZeroRowClobbered), "{diags:?}");
+        assert!(codes.contains(&ErrorCode::DumpRowConflict), "{diags:?}");
+    }
+
+    #[test]
+    fn shipped_layouts_are_clean() {
+        assert_eq!(check_layouts(), Vec::new());
+    }
+
+    #[test]
+    fn schedule_constants_match_the_derived_cost_model() {
+        assert_eq!(check_cost_model(), Vec::new());
+        let (dense, round) = schedule_tap_constants();
+        assert_eq!(dense, 136);
+        assert_eq!(round, 10);
+    }
+
+    #[test]
+    fn mac_tap_schedules_are_hazard_free_in_every_mode() {
+        let flags = [false, true, false, true, false, true, false, true];
+        for mode in [
+            SparsityMode::Dense,
+            SparsityMode::SkipZeroRows,
+            SparsityMode::SkipZeroInputs,
+            SparsityMode::SkipBoth,
+        ] {
+            let s = mac_tap_schedule(mode, &flags, 6);
+            assert!(check_schedule("mac_tap", &s).is_empty(), "{mode:?}");
+        }
+        assert!(check_schedule("reduce", &reduce_schedule(64)).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Structured diagnostics with stable error codes.
+//!
+//! Every hazard the verifier can detect has a fixed `Vxxx` code so CI
+//! artifacts, tests, and humans can match on the class of failure without
+//! parsing prose. Codes are append-only: existing codes never change
+//! meaning.
+
+use std::fmt;
+
+/// Stable error codes of the static plan verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// V001: two operand regions of one operation share word lines.
+    OperandOverlap,
+    /// V002: an operand's rows extend past the array's word lines.
+    RowOutOfBounds,
+    /// V003: one compute cycle activates more than two read word lines
+    /// (or the same word line twice — two-row activation needs distinct
+    /// rows).
+    ReadPortOverflow,
+    /// V004: one compute cycle drives more than one write word line.
+    WritePortOverflow,
+    /// V005: a compute cycle writes the dedicated all-zero row.
+    ZeroRowClobbered,
+    /// V006: a convolution mapping's row budget exceeds the array.
+    RowBudgetOverflow,
+    /// V007: lane packing aliases two filter groups onto one bit line.
+    LanePackingAlias,
+    /// V008: a reduction group span is not a power of two.
+    NonPowerOfTwoLanes,
+    /// V009: statically derived schedule length disagrees with the
+    /// analytical cost model.
+    CycleMismatchAnalytical,
+    /// V010: executed cycle counters disagree with the static schedule.
+    CycleMismatchExecuted,
+    /// V011: the reserved-way dump overlap exceeds its port-conflict
+    /// window.
+    ReservedWayPortConflict,
+    /// V012: an operand region claims the comparison dump row.
+    DumpRowConflict,
+}
+
+impl ErrorCode {
+    /// The stable `Vxxx` identifier.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::OperandOverlap => "V001",
+            ErrorCode::RowOutOfBounds => "V002",
+            ErrorCode::ReadPortOverflow => "V003",
+            ErrorCode::WritePortOverflow => "V004",
+            ErrorCode::ZeroRowClobbered => "V005",
+            ErrorCode::RowBudgetOverflow => "V006",
+            ErrorCode::LanePackingAlias => "V007",
+            ErrorCode::NonPowerOfTwoLanes => "V008",
+            ErrorCode::CycleMismatchAnalytical => "V009",
+            ErrorCode::CycleMismatchExecuted => "V010",
+            ErrorCode::ReservedWayPortConflict => "V011",
+            ErrorCode::DumpRowConflict => "V012",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding: the hazard class, the offending operation, and
+/// the word-line range involved (when row-addressed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable hazard class.
+    pub code: ErrorCode,
+    /// Label of the offending operation or check context (e.g.
+    /// `"mac_reduce/mul"` or `"Conv2d_2b_3x3/SkipZeroRows"`).
+    pub op: String,
+    /// Offending word-line range `[start, end)`, when the hazard is
+    /// row-addressed.
+    pub rows: Option<(usize, usize)>,
+    /// Human-readable description with the concrete values.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic without a row range.
+    #[must_use]
+    pub fn new(code: ErrorCode, op: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            op: op.into(),
+            rows: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the offending word-line range.
+    #[must_use]
+    pub fn with_rows(mut self, start: usize, end: usize) -> Self {
+        self.rows = Some((start, end));
+        self
+    }
+
+    /// Serializes this diagnostic as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = match self.rows {
+            Some((start, end)) => format!(r#"{{"start":{start},"end":{end}}}"#),
+            None => "null".to_string(),
+        };
+        format!(
+            r#"{{"code":"{}","op":"{}","rows":{},"message":"{}"}}"#,
+            self.code,
+            escape_json(&self.op),
+            rows,
+            escape_json(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.code, self.op, self.message)?;
+        if let Some((start, end)) = self.rows {
+            write!(f, " (rows {start}..{end})")?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            ErrorCode::OperandOverlap,
+            ErrorCode::RowOutOfBounds,
+            ErrorCode::ReadPortOverflow,
+            ErrorCode::WritePortOverflow,
+            ErrorCode::ZeroRowClobbered,
+            ErrorCode::RowBudgetOverflow,
+            ErrorCode::LanePackingAlias,
+            ErrorCode::NonPowerOfTwoLanes,
+            ErrorCode::CycleMismatchAnalytical,
+            ErrorCode::CycleMismatchExecuted,
+            ErrorCode::ReservedWayPortConflict,
+            ErrorCode::DumpRowConflict,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for code in all {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(code.as_str().starts_with('V'));
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn diagnostic_renders_rows_and_json() {
+        let d = Diagnostic::new(ErrorCode::OperandOverlap, "mul", "a overlaps b").with_rows(8, 16);
+        let shown = d.to_string();
+        assert!(shown.contains("V001"));
+        assert!(shown.contains("rows 8..16"));
+        let json = d.to_json();
+        assert!(json.contains(r#""code":"V001""#));
+        assert!(json.contains(r#""start":8"#));
+
+        let quoted = Diagnostic::new(ErrorCode::RowOutOfBounds, r#"op"x"#, "msg\n2");
+        assert!(quoted.to_json().contains(r#"op\"x"#));
+        assert!(quoted.to_json().contains(r"msg\n2"));
+    }
+}

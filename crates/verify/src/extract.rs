@@ -1,0 +1,655 @@
+//! Schedule extraction: abstract per-cycle row activation sets for every
+//! `nc-sram` operation, derived from [`Operand`] descriptors alone.
+//!
+//! Each extractor replays the *address arithmetic* of the corresponding
+//! `ComputeArray` method — same loop structure, same row indices, same
+//! counter bookkeeping — but never touches data. Sparsity variants take
+//! the data-dependent facts (which multiplier rounds are all-zero, the
+//! highest live multiplicand bit) as explicit parameters, because those
+//! are exactly the bits of information the control FSM holds.
+//!
+//! The module's tests prove cycle-exactness: for each op the extracted
+//! [`Schedule`]'s counters equal the [`nc_sram::CycleStats`] the real
+//! array returns for the same operands.
+
+use nc_sram::Operand;
+
+use crate::ir::Schedule;
+
+/// `dst <- a + b` (`n` cycles, `n + 1` with a carry-out destination).
+#[must_use]
+pub fn add(a: Operand, b: Operand, dst: Operand) -> Schedule {
+    let n = a.bits();
+    let mut s = Schedule::new();
+    for i in 0..n {
+        s.sense2(a.row(i), b.row(i), dst.row(i), "op_full_add");
+    }
+    if dst.bits() == n + 1 {
+        s.write_only(dst.row(n), "op_write_carry");
+    }
+    s
+}
+
+/// `acc <- acc + addend` with zero extension (`acc.bits()` cycles).
+#[must_use]
+pub fn add_assign(acc: Operand, addend: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..addend.bits() {
+        s.sense2(addend.row(i), acc.row(i), acc.row(i), "op_full_add");
+    }
+    for i in addend.bits()..acc.bits() {
+        s.sense1(acc.row(i), acc.row(i), "op_full_add_const");
+    }
+    s
+}
+
+/// `op <- op + k` (`op.bits()` cycles, independent of `k`).
+#[must_use]
+pub fn add_scalar(op: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..op.bits() {
+        s.sense1(op.row(i), op.row(i), "op_full_add_const");
+    }
+    s
+}
+
+/// `dst <- a - b` via two's complement through `scratch` (`2n` cycles).
+#[must_use]
+pub fn sub(a: Operand, b: Operand, dst: Operand, scratch: Operand, zero_row: usize) -> Schedule {
+    let n = a.bits();
+    let mut s = Schedule::new();
+    for i in 0..n {
+        s.sense_not(b.row(i), zero_row, Some(scratch.row(i)), "op_not");
+    }
+    for i in 0..n {
+        s.sense2(a.row(i), scratch.row(i), dst.row(i), "op_full_add");
+    }
+    s
+}
+
+/// Region clear / constant broadcast (`op.bits()` write-only cycles).
+#[must_use]
+pub fn broadcast(op: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..op.bits() {
+        s.write_only(op.row(i), "op_write_const");
+    }
+    s
+}
+
+/// `dst <- src` (`bits` cycles; zero if the regions coincide exactly).
+#[must_use]
+pub fn copy(src: Operand, dst: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    if src == dst {
+        return s;
+    }
+    for i in 0..src.bits() {
+        s.sense1(src.row(i), dst.row(i), "op_copy");
+    }
+    s
+}
+
+/// `dst <- zext(src)` (`dst.bits()` cycles).
+#[must_use]
+pub fn copy_zext(src: Operand, dst: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..src.bits() {
+        s.sense1(src.row(i), dst.row(i), "op_copy");
+    }
+    for i in src.bits()..dst.bits() {
+        s.write_only(dst.row(i), "op_write_const");
+    }
+    s
+}
+
+/// `dst <- !src` (`bits` two-row senses against the zero row).
+#[must_use]
+pub fn not_region(src: Operand, dst: Operand, zero_row: usize) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..src.bits() {
+        s.sense_not(src.row(i), zero_row, Some(dst.row(i)), "op_not");
+    }
+    s
+}
+
+/// Bitwise AND/OR/XOR/NOR region op (`bits` two-row senses).
+#[must_use]
+pub fn logic_region(a: Operand, b: Operand, dst: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..a.bits() {
+        s.sense2(a.row(i), b.row(i), dst.row(i), "op_logic");
+    }
+    s
+}
+
+/// Tag-latch equality search against a broadcast constant (`bits` cycles).
+#[must_use]
+pub fn search_eq_scalar(op: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..op.bits() {
+        s.read_only(op.row(i), "op_and_tag");
+    }
+    s
+}
+
+/// Dense `prod <- a * b` (`prod.bits() + m * (n + 2)` cycles).
+#[must_use]
+pub fn mul(a: Operand, b: Operand, prod: Operand) -> Schedule {
+    let (n, m) = (a.bits(), b.bits());
+    let mut s = broadcast(prod);
+    for j in 0..m {
+        s.mul_rounds += 1;
+        emit_mul_round(&mut s, a, b, prod, j, n);
+    }
+    s
+}
+
+/// `mul_skip_zero_rows`: `skipped[j]` says multiplier bit-slice `j` is
+/// all-zero on every lane (known statically for stationary weights).
+#[must_use]
+pub fn mul_skip_zero_rows(a: Operand, b: Operand, prod: Operand, skipped: &[bool]) -> Schedule {
+    let (n, m) = (a.bits(), b.bits());
+    debug_assert_eq!(skipped.len(), m);
+    let mut s = broadcast(prod);
+    for j in 0..m {
+        s.mul_rounds += 1;
+        if skipped.get(j).copied().unwrap_or(false) {
+            s.skipped_rounds += 1;
+            s.skipped_cycles += n as u64 + 2;
+            continue;
+        }
+        emit_mul_round(&mut s, a, b, prod, j, n);
+    }
+    s
+}
+
+/// `mul_skip_zero_input_bits`: every round pays a 1-cycle zero-detect;
+/// `zero_rounds[j]` says the detect fires (slice all-zero).
+#[must_use]
+pub fn mul_skip_zero_input_bits(
+    a: Operand,
+    b: Operand,
+    prod: Operand,
+    zero_rounds: &[bool],
+) -> Schedule {
+    let (n, m) = (a.bits(), b.bits());
+    debug_assert_eq!(zero_rounds.len(), m);
+    let mut s = broadcast(prod);
+    for j in 0..m {
+        s.mul_rounds += 1;
+        s.detect(b.row(j));
+        if zero_rounds.get(j).copied().unwrap_or(false) {
+            s.input_rounds_skipped += 1;
+            s.skipped_cycles += n as u64 + 2;
+            continue;
+        }
+        emit_mul_round(&mut s, a, b, prod, j, n);
+    }
+    s
+}
+
+/// `mul_skip_both`: dynamic input-round elision plus static multiplicand
+/// truncation to the highest live bit `live` (`0 ..= n`).
+#[must_use]
+pub fn mul_skip_both(
+    a: Operand,
+    b: Operand,
+    prod: Operand,
+    zero_rounds: &[bool],
+    live: usize,
+) -> Schedule {
+    let (n, m) = (a.bits(), b.bits());
+    debug_assert_eq!(zero_rounds.len(), m);
+    debug_assert!(live <= n);
+    let mut s = broadcast(prod);
+    for j in 0..m {
+        s.mul_rounds += 1;
+        s.detect(b.row(j));
+        if zero_rounds.get(j).copied().unwrap_or(false) {
+            s.input_rounds_skipped += 1;
+            s.skipped_cycles += n as u64 + 2;
+            continue;
+        }
+        s.skipped_cycles += (n - live) as u64;
+        s.read_only(b.row(j), "op_load_tag");
+        for i in 0..live {
+            s.sense2(a.row(i), prod.row(j + i), prod.row(j + i), "op_full_add");
+        }
+        s.write_only(prod.row(j + live), "op_write_carry");
+    }
+    s
+}
+
+/// `prod <- a * k` for an FSM-held constant: one `add_assign` per set bit.
+///
+/// # Panics
+///
+/// Panics if `prod` is too narrow to hold a window for `k`'s highest set
+/// bit — the real op rejects such operands before scheduling.
+#[must_use]
+pub fn mul_scalar(a: Operand, k: u64, prod: Operand) -> Schedule {
+    let klen = (64 - k.leading_zeros()) as usize;
+    let mut s = broadcast(prod);
+    for j in 0..klen {
+        if (k >> j) & 1 == 1 {
+            let window = prod
+                .slice(j, prod.bits() - j)
+                .expect("verified by the real op");
+            s.extend(add_assign(window, a));
+        }
+    }
+    s
+}
+
+/// Trial subtraction leaving the no-borrow flag in the carry latch
+/// (`2n` cycles, sums discarded into `dump_row`).
+#[must_use]
+pub fn compare_ge(
+    a: Operand,
+    b: Operand,
+    scratch: Operand,
+    dump_row: usize,
+    zero_row: usize,
+) -> Schedule {
+    let n = a.bits();
+    let mut s = Schedule::new();
+    for i in 0..n {
+        s.sense_not(b.row(i), zero_row, Some(scratch.row(i)), "op_not");
+    }
+    for i in 0..n {
+        s.sense2(a.row(i), scratch.row(i), dump_row, "op_full_add");
+    }
+    s
+}
+
+/// `acc <- max(acc, x)` (`3n + 2` cycles).
+#[must_use]
+pub fn max_assign(
+    acc: Operand,
+    x: Operand,
+    scratch: Operand,
+    dump_row: usize,
+    zero_row: usize,
+) -> Schedule {
+    let mut s = compare_ge(acc, x, scratch, dump_row, zero_row);
+    s.write_only(dump_row, "op_write_carry");
+    s.sense_not(dump_row, zero_row, None, "op_load_tag_not");
+    s.extend(copy(x, acc));
+    s
+}
+
+/// `acc <- min(acc, x)` (`3n + 2` cycles).
+#[must_use]
+pub fn min_assign(
+    acc: Operand,
+    x: Operand,
+    scratch: Operand,
+    dump_row: usize,
+    zero_row: usize,
+) -> Schedule {
+    let mut s = compare_ge(acc, x, scratch, dump_row, zero_row);
+    s.write_only(dump_row, "op_write_carry");
+    s.read_only(dump_row, "op_load_tag");
+    s.extend(copy(x, acc));
+    s
+}
+
+/// `ReLU` via the sign-bit write mask (`n + 1` cycles).
+#[must_use]
+pub fn relu(x: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    s.read_only(x.msb_row(), "op_load_tag");
+    for i in 0..x.bits() {
+        s.write_only(x.row(i), "op_write_const");
+    }
+    s
+}
+
+/// Saturation `op <- min(op, k)` (`2n + 2` cycles; zero only when nothing
+/// can exceed `k = u64::MAX`).
+#[must_use]
+pub fn clamp_max_scalar(op: Operand, k: u64, dump_row: usize) -> Schedule {
+    let mut s = Schedule::new();
+    if k == u64::MAX {
+        return s;
+    }
+    for i in 0..op.bits() {
+        s.sense1(op.row(i), dump_row, "op_full_add_const");
+    }
+    s.write_only(dump_row, "op_write_carry");
+    s.read_only(dump_row, "op_load_tag");
+    for i in 0..op.bits() {
+        s.write_only(op.row(i), "op_write_const");
+    }
+    s
+}
+
+/// Lane move `dst[lane] <- src[lane + shift]` (2 cycles per row; the
+/// grouped variant has the identical row schedule).
+#[must_use]
+pub fn move_lanes(src: Operand, dst: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..src.bits() {
+        s.lane_move_row(src.row(i), dst.row(i));
+    }
+    s
+}
+
+/// Tree reduction skeleton shared by sum/max/min: one lane move plus one
+/// combine per halving step.
+fn reduce_with(
+    value: Operand,
+    scratch: Operand,
+    lanes: usize,
+    combine: impl Fn(Operand, Operand) -> Schedule,
+) -> Schedule {
+    let mut s = Schedule::new();
+    let mut stride = lanes / 2;
+    while stride >= 1 {
+        s.extend(move_lanes(value, scratch));
+        s.extend(combine(value, scratch));
+        stride /= 2;
+    }
+    s
+}
+
+/// Tree-sum reduction (`log2(lanes) * 3w` cycles).
+#[must_use]
+pub fn reduce_sum(value: Operand, scratch: Operand, lanes: usize) -> Schedule {
+    reduce_with(value, scratch, lanes, add_assign)
+}
+
+/// Tree-max reduction (`log2(lanes) * (2w + 3w + 2)` cycles).
+#[must_use]
+pub fn reduce_max(
+    value: Operand,
+    scratch: Operand,
+    cmp_scratch: Operand,
+    dump_row: usize,
+    lanes: usize,
+    zero_row: usize,
+) -> Schedule {
+    reduce_with(value, scratch, lanes, |acc, x| {
+        max_assign(acc, x, cmp_scratch, dump_row, zero_row)
+    })
+}
+
+/// Tree-min reduction (`log2(lanes) * (2w + 3w + 2)` cycles).
+#[must_use]
+pub fn reduce_min(
+    value: Operand,
+    scratch: Operand,
+    cmp_scratch: Operand,
+    dump_row: usize,
+    lanes: usize,
+    zero_row: usize,
+) -> Schedule {
+    reduce_with(value, scratch, lanes, |acc, x| {
+        min_assign(acc, x, cmp_scratch, dump_row, zero_row)
+    })
+}
+
+/// Grouped tree-sum reduction: same row schedule as [`reduce_sum`] with
+/// `group_lanes` in place of `lanes`.
+#[must_use]
+pub fn reduce_sum_grouped(value: Operand, scratch: Operand, group_lanes: usize) -> Schedule {
+    reduce_sum(value, scratch, group_lanes)
+}
+
+/// Inter-array lane transfer: one access-path read per source row plus one
+/// access-path write per destination row.
+#[must_use]
+pub fn copy_lanes_between(src_op: Operand, dst_op: Operand) -> Schedule {
+    let mut s = Schedule::new();
+    for i in 0..src_op.bits() {
+        s.transfer_row(src_op.row(i), dst_op.row(i));
+    }
+    s
+}
+
+/// Emits one executed multiplier-bit round: tag load, `n` predicated adds
+/// at offset `j`, carry commit at `prod[j + n]`.
+fn emit_mul_round(s: &mut Schedule, a: Operand, b: Operand, prod: Operand, j: usize, n: usize) {
+    s.read_only(b.row(j), "op_load_tag");
+    for i in 0..n {
+        s.sense2(a.row(i), prod.row(j + i), prod.row(j + i), "op_full_add");
+    }
+    s.write_only(prod.row(j + n), "op_write_carry");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_sram::{ComputeArray, Predicate};
+
+    const ZERO: usize = 255;
+    const DUMP: usize = 250;
+
+    fn arr() -> ComputeArray {
+        ComputeArray::with_zero_row(ZERO).unwrap()
+    }
+
+    fn op(base: usize, bits: usize) -> Operand {
+        Operand::new(base, bits).unwrap()
+    }
+
+    /// Asserts every counter of the extracted schedule equals the executed
+    /// stats the real array reported.
+    fn assert_counters(s: &Schedule, d: nc_sram::CycleStats, what: &str) {
+        assert_eq!(s.compute_cycles(), d.compute_cycles, "{what}: compute");
+        assert_eq!(s.access_cycles(), d.access_cycles, "{what}: access");
+        assert_eq!(s.mul_rounds, d.mul_rounds, "{what}: rounds");
+        assert_eq!(s.skipped_rounds, d.skipped_rounds, "{what}: skipped");
+        assert_eq!(
+            s.input_rounds_skipped, d.input_rounds_skipped,
+            "{what}: input skips"
+        );
+        assert_eq!(s.detect_cycles, d.detect_cycles, "{what}: detects");
+        assert_eq!(s.skipped_cycles, d.skipped_cycles, "{what}: saved cycles");
+    }
+
+    #[test]
+    fn add_family_is_cycle_exact() {
+        let mut a = arr();
+        let (x, y) = (op(0, 8), op(8, 8));
+        let wide = op(16, 9);
+        let narrow = op(32, 8);
+        assert_counters(&add(x, y, wide), a.add(x, y, wide).unwrap(), "add+carry");
+        assert_counters(&add(x, y, narrow), a.add(x, y, narrow).unwrap(), "add");
+        let acc = op(40, 24);
+        assert_counters(
+            &add_assign(acc, x),
+            a.add_assign(acc, x).unwrap(),
+            "add_assign",
+        );
+        assert_counters(
+            &add_scalar(acc),
+            a.add_scalar(acc, 77).unwrap(),
+            "add_scalar",
+        );
+        let (dst, scratch) = (op(64, 8), op(72, 8));
+        assert_counters(
+            &sub(x, y, dst, scratch, ZERO),
+            a.sub(x, y, dst, scratch).unwrap(),
+            "sub",
+        );
+    }
+
+    #[test]
+    fn logic_family_is_cycle_exact() {
+        let mut a = arr();
+        let (x, y, dst) = (op(0, 8), op(8, 8), op(16, 8));
+        assert_counters(&broadcast(x), a.zero(x).unwrap(), "zero");
+        assert_counters(
+            &broadcast(x),
+            a.broadcast_scalar(x, 170).unwrap(),
+            "broadcast",
+        );
+        assert_counters(
+            &copy(x, dst),
+            a.copy(x, dst, Predicate::Always).unwrap(),
+            "copy",
+        );
+        assert_counters(
+            &copy(x, x),
+            a.copy(x, x, Predicate::Always).unwrap(),
+            "copy self",
+        );
+        let wide = op(24, 16);
+        assert_counters(&copy_zext(x, wide), a.copy_zext(x, wide).unwrap(), "zext");
+        assert_counters(
+            &not_region(x, dst, ZERO),
+            a.not_region(x, dst).unwrap(),
+            "not",
+        );
+        assert_counters(
+            &logic_region(x, y, dst),
+            a.logic_region(nc_sram::ops::LogicOp::And, x, y, dst)
+                .unwrap(),
+            "and",
+        );
+        assert_counters(
+            &search_eq_scalar(x),
+            a.search_eq_scalar(x, 42).unwrap(),
+            "search",
+        );
+    }
+
+    #[test]
+    fn dense_mul_is_cycle_exact() {
+        let mut a = arr();
+        let (x, y, p) = (op(0, 8), op(8, 8), op(16, 16));
+        a.poke_lane(0, x, 200);
+        a.poke_lane(0, y, 255);
+        let s = mul(x, y, p);
+        assert_counters(&s, a.mul(x, y, p).unwrap(), "mul");
+        assert_eq!(s.compute_cycles(), 96);
+        assert_counters(
+            &mul_scalar(x, 181, op(32, 24)),
+            a.mul_scalar(x, 181, op(32, 24)).unwrap(),
+            "mul_scalar",
+        );
+        assert_counters(
+            &mul_scalar(x, 0, op(32, 24)),
+            a.mul_scalar(x, 0, op(32, 24)).unwrap(),
+            "mul_scalar zero",
+        );
+    }
+
+    #[test]
+    fn sparse_mul_variants_are_cycle_exact() {
+        // Low-nibble multipliers across lanes: rounds 4..8 are all-zero.
+        let values = [(200u64, 9u64), (37, 0), (255, 15), (1, 8)];
+        let zero_rounds = [false, false, false, false, true, true, true, true];
+        let (x, y, p) = (op(0, 8), op(8, 8), op(16, 16));
+
+        let mut a = arr();
+        for (lane, (wx, wy)) in values.iter().enumerate() {
+            a.poke_lane(lane, x, *wx);
+            a.poke_lane(lane, y, *wy);
+        }
+        let s = mul_skip_zero_rows(x, y, p, &zero_rounds);
+        assert_counters(&s, a.mul_skip_zero_rows(x, y, p).unwrap(), "skip rows");
+        assert_eq!(s.skipped_rounds, 4);
+        assert_eq!(s.skipped_cycles, 40);
+
+        let mut a = arr();
+        for (lane, (wx, wy)) in values.iter().enumerate() {
+            a.poke_lane(lane, x, *wx);
+            a.poke_lane(lane, y, *wy);
+        }
+        let s = mul_skip_zero_input_bits(x, y, p, &zero_rounds);
+        assert_counters(
+            &s,
+            a.mul_skip_zero_input_bits(x, y, p).unwrap(),
+            "skip inputs",
+        );
+        assert_eq!(s.detect_cycles, 8);
+
+        // Weights limited to 3 live bits: live = 3.
+        let trunc = [(5u64, 9u64), (7, 0), (3, 15), (1, 8)];
+        let mut a = arr();
+        for (lane, (wx, wy)) in trunc.iter().enumerate() {
+            a.poke_lane(lane, x, *wx);
+            a.poke_lane(lane, y, *wy);
+        }
+        let s = mul_skip_both(x, y, p, &zero_rounds, 3);
+        assert_counters(&s, a.mul_skip_both(x, y, p).unwrap(), "skip both");
+        assert_eq!(s.skipped_cycles, 4 * 10 + 4 * 5);
+    }
+
+    #[test]
+    fn cmp_family_is_cycle_exact() {
+        let mut a = arr();
+        let (x, y, scratch) = (op(0, 8), op(8, 8), op(16, 8));
+        assert_counters(
+            &compare_ge(x, y, scratch, DUMP, ZERO),
+            a.compare_ge(x, y, scratch, DUMP).unwrap(),
+            "compare_ge",
+        );
+        assert_counters(
+            &max_assign(x, y, scratch, DUMP, ZERO),
+            a.max_assign(x, y, scratch, DUMP).unwrap(),
+            "max_assign",
+        );
+        assert_counters(
+            &min_assign(x, y, scratch, DUMP, ZERO),
+            a.min_assign(x, y, scratch, DUMP).unwrap(),
+            "min_assign",
+        );
+        assert_counters(&relu(x), a.relu(x).unwrap(), "relu");
+        assert_counters(
+            &clamp_max_scalar(x, 100, DUMP),
+            a.clamp_max_scalar(x, 100, DUMP).unwrap(),
+            "clamp",
+        );
+        let wide = op(24, 64);
+        assert_counters(
+            &clamp_max_scalar(wide, u64::MAX, DUMP),
+            a.clamp_max_scalar(wide, u64::MAX, DUMP).unwrap(),
+            "clamp no-op",
+        );
+    }
+
+    #[test]
+    fn reduce_family_is_cycle_exact() {
+        let mut a = arr();
+        let (value, scratch) = (op(0, 32), op(32, 32));
+        assert_counters(
+            &move_lanes(value, scratch),
+            a.move_lanes(value, scratch, 8, 8).unwrap(),
+            "move_lanes",
+        );
+        let s = reduce_sum(value, scratch, 16);
+        assert_counters(&s, a.reduce_sum(value, scratch, 16).unwrap(), "reduce_sum");
+        assert_eq!(s.compute_cycles(), 4 * (64 + 32));
+        let (cmp, v8, s8) = (op(80, 8), op(64, 8), op(72, 8));
+        assert_counters(
+            &reduce_max(v8, s8, cmp, DUMP, 8, ZERO),
+            a.reduce_max(v8, s8, cmp, DUMP, 8).unwrap(),
+            "reduce_max",
+        );
+        assert_counters(
+            &reduce_min(v8, s8, cmp, DUMP, 8, ZERO),
+            a.reduce_min(v8, s8, cmp, DUMP, 8).unwrap(),
+            "reduce_min",
+        );
+        assert_counters(
+            &reduce_sum_grouped(value, scratch, 8),
+            a.reduce_sum_grouped(value, scratch, 8, 16).unwrap(),
+            "reduce_sum_grouped",
+        );
+    }
+
+    #[test]
+    fn transfer_is_cycle_exact() {
+        let mut a = arr();
+        let mut b = arr();
+        let region = op(0, 32);
+        let s = copy_lanes_between(region, region);
+        let d = nc_sram::ops::copy_lanes_between(&mut a, region, &mut b, region, 0, 16).unwrap();
+        assert_counters(&s, d, "copy_lanes_between");
+        assert_eq!(s.access_cycles(), 64);
+    }
+}

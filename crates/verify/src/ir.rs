@@ -1,0 +1,227 @@
+//! The abstract schedule IR: per-cycle word-line read/write sets.
+//!
+//! A [`Schedule`] is a straight-line sequence of [`Step`]s, one per array
+//! cycle, recording only which word lines each cycle activates — no data.
+//! The extractors in [`crate::extract`] build these by replaying the
+//! *address arithmetic* of each `nc-sram` operation; the checker in
+//! [`crate::check`] then proves port-safety properties over them, and the
+//! cycle reconciliation compares their lengths against the analytical cost
+//! model and executed counters.
+
+/// Whether a cycle uses the compute path (two-row activation through the
+/// bit-line peripherals) or the conventional access path (streaming
+/// reads/writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Bit-line compute cycle (counted in `compute_cycles`).
+    Compute,
+    /// Conventional access cycle (counted in `access_cycles`).
+    Access,
+}
+
+/// One array cycle: the word lines it senses and the word lines it drives
+/// for write-back.
+///
+/// The hardware activates at most **two** read word lines per compute
+/// cycle (the two-row sense of Figure 7) and commits at most **one** write
+/// word line. Reading and writing the *same* row in one cycle is legal —
+/// the sense phase completes before write-back (this is how in-place adds
+/// work) — but sensing one row twice is not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Compute or access path.
+    pub kind: StepKind,
+    /// Word lines sensed this cycle (hardware port budget: 2).
+    pub reads: Vec<usize>,
+    /// Word lines driven for write-back this cycle (hardware port
+    /// budget: 1).
+    pub writes: Vec<usize>,
+    /// Micro-op label, for diagnostics.
+    pub label: &'static str,
+}
+
+/// A straight-line per-cycle schedule with the same side counters the
+/// executed [`nc_sram::CycleStats`] reports, so the three-way
+/// reconciliation can compare every column.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Per-cycle steps, in issue order.
+    pub steps: Vec<Step>,
+    /// Scheduled multiplier-bit rounds (dense, skipped, or executed).
+    pub mul_rounds: u64,
+    /// Statically elided weight-bit rounds.
+    pub skipped_rounds: u64,
+    /// Dynamically elided input-bit rounds.
+    pub input_rounds_skipped: u64,
+    /// Wired-NOR zero-detect cycles issued.
+    pub detect_cycles: u64,
+    /// Compute cycles the dense schedule would have spent on elided work.
+    pub skipped_cycles: u64,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Compute cycles in the schedule (its length on the compute path) —
+    /// the statically derived analogue of
+    /// [`nc_sram::CycleStats::compute_cycles`].
+    #[must_use]
+    pub fn compute_cycles(&self) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Compute)
+            .count() as u64
+    }
+
+    /// Access cycles in the schedule.
+    #[must_use]
+    pub fn access_cycles(&self) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Access)
+            .count() as u64
+    }
+
+    /// Appends every step of `other`, folding its counters in.
+    pub fn extend(&mut self, other: Schedule) {
+        self.steps.extend(other.steps);
+        self.mul_rounds += other.mul_rounds;
+        self.skipped_rounds += other.skipped_rounds;
+        self.input_rounds_skipped += other.input_rounds_skipped;
+        self.detect_cycles += other.detect_cycles;
+        self.skipped_cycles += other.skipped_cycles;
+    }
+
+    // ------------------------------------------------------------------
+    // Micro-op emitters: one per single-cycle micro-op of the compute
+    // array, recording exactly the word lines that micro-op activates.
+    // ------------------------------------------------------------------
+
+    /// Two-row sense + write-back (`op_full_add`, `op_and`, ...). Pass
+    /// `dst` equal to a source row for in-place operation.
+    pub fn sense2(&mut self, a: usize, b: usize, dst: usize, label: &'static str) {
+        self.steps.push(Step {
+            kind: StepKind::Compute,
+            reads: vec![a, b],
+            writes: vec![dst],
+            label,
+        });
+    }
+
+    /// Single-row read + write-back (`op_copy`, `op_full_add_const`).
+    pub fn sense1(&mut self, src: usize, dst: usize, label: &'static str) {
+        self.steps.push(Step {
+            kind: StepKind::Compute,
+            reads: vec![src],
+            writes: vec![dst],
+            label,
+        });
+    }
+
+    /// Latch-source write (`op_write_carry`, `op_write_tag`,
+    /// `op_write_const`): no word line is sensed.
+    pub fn write_only(&mut self, dst: usize, label: &'static str) {
+        self.steps.push(Step {
+            kind: StepKind::Compute,
+            reads: Vec::new(),
+            writes: vec![dst],
+            label,
+        });
+    }
+
+    /// Tag/carry load from one row (`op_load_tag`, `op_and_tag`): no
+    /// write-back.
+    pub fn read_only(&mut self, src: usize, label: &'static str) {
+        self.steps.push(Step {
+            kind: StepKind::Compute,
+            reads: vec![src],
+            writes: Vec::new(),
+            label,
+        });
+    }
+
+    /// Complement sense against the dedicated zero row (`op_not`,
+    /// `op_load_tag_not`): a genuine two-row activation.
+    pub fn sense_not(
+        &mut self,
+        src: usize,
+        zero_row: usize,
+        dst: Option<usize>,
+        label: &'static str,
+    ) {
+        self.steps.push(Step {
+            kind: StepKind::Compute,
+            reads: vec![src, zero_row],
+            writes: dst.into_iter().collect(),
+            label,
+        });
+    }
+
+    /// Wired-NOR zero-detect (`op_detect_zero`): a tag load that also
+    /// charges the detect counter.
+    pub fn detect(&mut self, src: usize) {
+        self.read_only(src, "op_detect_zero");
+        self.detect_cycles += 1;
+    }
+
+    /// One row of a lane move: read cycle on the source row, then
+    /// read-modify-write cycle on the destination row
+    /// ([`nc_sram::ops::LANE_MOVE_CYCLES_PER_ROW`] = 2).
+    pub fn lane_move_row(&mut self, src_row: usize, dst_row: usize) {
+        self.read_only(src_row, "move_lanes/read");
+        self.sense1(dst_row, dst_row, "move_lanes/write");
+    }
+
+    /// One row of an inter-array transfer: an access-path read on the
+    /// source array and an access-path write on the destination array.
+    pub fn transfer_row(&mut self, src_row: usize, dst_row: usize) {
+        self.steps.push(Step {
+            kind: StepKind::Access,
+            reads: vec![src_row],
+            writes: Vec::new(),
+            label: "transfer/read",
+        });
+        self.steps.push(Step {
+            kind: StepKind::Access,
+            reads: Vec::new(),
+            writes: vec![dst_row],
+            label: "transfer/write",
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_extension() {
+        let mut s = Schedule::new();
+        s.sense2(0, 8, 8, "op_full_add");
+        s.detect(3);
+        s.transfer_row(0, 1);
+        assert_eq!(s.compute_cycles(), 2);
+        assert_eq!(s.access_cycles(), 2);
+        assert_eq!(s.detect_cycles, 1);
+
+        let mut t = Schedule::new();
+        t.write_only(5, "op_write_carry");
+        t.mul_rounds = 3;
+        s.extend(t);
+        assert_eq!(s.compute_cycles(), 3);
+        assert_eq!(s.mul_rounds, 3);
+    }
+
+    #[test]
+    fn lane_move_is_two_cycles_per_row() {
+        let mut s = Schedule::new();
+        s.lane_move_row(4, 40);
+        assert_eq!(s.compute_cycles(), 2);
+        assert_eq!(s.steps[0].reads, vec![4]);
+        assert_eq!(s.steps[1].writes, vec![40]);
+    }
+}

@@ -1,0 +1,393 @@
+//! **nc-verify**: a static plan verifier for the Neural Cache
+//! reproduction — hazard detection, operand-layout linting, and three-way
+//! cycle reconciliation, all without touching data.
+//!
+//! The compute arrays of the paper (Section III) impose hard structural
+//! limits on every cycle: at most **two** word lines sensed (and they must
+//! be distinct — the two-row activation of Figure 7), at most **one** word
+//! line driven for write-back, the dedicated all-zero row never written,
+//! and every row address inside the 256-row array. The executor's
+//! correctness and the timing model's honesty both hinge on its operand
+//! layouts and op schedules respecting those limits. This crate proves it
+//! statically:
+//!
+//! 1. [`extract`]: a **schedule extractor** replays the address arithmetic
+//!    of every `nc-sram` operation (add/mul and all three sparsity
+//!    variants, reduce, compare, logic, transfer) into an abstract
+//!    per-cycle IR of row read/write sets ([`ir::Schedule`]) — no
+//!    execution; the data-dependent facts (elided rounds, live weight
+//!    bits) enter as explicit parameters, because those are exactly what
+//!    the control FSM knows.
+//! 2. [`check`]: a **hazard checker** over that IR — port overflows,
+//!    out-of-bounds rows, zero-row clobbering, operand overlap, lane
+//!    packing aliasing, row-budget overflow — plus reserved-way dump
+//!    overlap invariants against [`neural_cache::BatchCostModel`].
+//! 3. **Three-way cycle reconciliation**: static schedule length ==
+//!    analytical [`neural_cache::cost::CostModel`] cycles == executed
+//!    [`nc_sram::CycleStats`], per layer per sparsity mode, reported as
+//!    structured [`diag::Diagnostic`]s with stable `Vxxx` codes.
+//!
+//! Entry points: [`check_model`] (static + analytical legs, works on
+//! shape-only models) and [`check_executed_model`] (adds the executed
+//! leg by running the functional executor). The `plan_lint` bench bin
+//! sweeps every shipped workload × sparsity mode × engine and fails CI on
+//! any diagnostic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: cycle counters convert between u64/f64 by design
+// (the analytical model is f64), and diagnostics format many values.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::float_cmp,
+    clippy::module_name_repetitions,
+    clippy::too_many_lines,
+    clippy::many_single_char_names
+)]
+
+pub mod check;
+pub mod diag;
+pub mod extract;
+pub mod ir;
+pub mod report;
+
+use nc_dnn::{Model, QTensor};
+use nc_sram::COLS;
+use neural_cache::batching::{BatchCostModel, DUMP_OVERLAP_EFFICIENCY};
+use neural_cache::cost::DATA_BITS;
+use neural_cache::functional::{run_model_configured, FunctionalError, FunctionalResult};
+use neural_cache::mapping::{conv_lane_geometry, plan_model_with};
+use neural_cache::{ExecutionEngine, SparsityMode, SystemConfig, UnitPlan};
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::report::VerifyReport;
+
+/// The four sparsity modes every sweep covers.
+pub const ALL_MODES: [SparsityMode; 4] = [
+    SparsityMode::Dense,
+    SparsityMode::SkipZeroRows,
+    SparsityMode::SkipZeroInputs,
+    SparsityMode::SkipBoth,
+];
+
+/// Statically verifies a model's plan under `config`: executor operand
+/// layouts, per-mode MAC-tap schedules, cost-model anchor points, every
+/// layer's lane geometry / row budget / static-vs-analytical MAC cycles
+/// under all four sparsity modes, and the batching model's reserved-way
+/// dump-overlap window invariants.
+///
+/// Works on shape-only models (no weights needed — nothing executes).
+///
+/// # Panics
+///
+/// Panics if a layer cannot be mapped at all (the mapper's own invariant).
+#[must_use]
+pub fn check_model(config: &SystemConfig, model: &Model) -> VerifyReport {
+    let mut report = VerifyReport::new(model.name.clone());
+
+    report.record("layouts", check::check_layouts());
+    report.record("cost-model", check::check_cost_model());
+
+    // Per-mode MAC-tap and reduction schedules must be hazard-free.
+    let mut hazards = Vec::new();
+    let flags = [false, true, false, true, false, true, false, true];
+    for mode in ALL_MODES {
+        let s = check::mac_tap_schedule(mode, &flags, 5);
+        hazards.extend(check::check_schedule(&format!("mac_tap/{mode:?}"), &s));
+    }
+    report.record("mac-tap-hazards", hazards);
+
+    // Per-layer: lane geometry, row budget, reduction-schedule hazards,
+    // and the static <-> analytical MAC reconciliation under every mode.
+    let mut geometry_diags = Vec::new();
+    for layer in &model.layers {
+        for conv in layer.conv_sublayers() {
+            let geom = conv_lane_geometry(&conv.spec);
+            let label = &conv.spec.name;
+            geometry_diags.extend(check::check_lane_geometry(label, &geom, conv.spec.m));
+            geometry_diags.extend(check::check_schedule(
+                &format!("{label}/reduce"),
+                &check::reduce_schedule(geom.group_span),
+            ));
+        }
+    }
+    report.record("lane-geometry", geometry_diags);
+
+    let mut plan_diags = Vec::new();
+    for mode in ALL_MODES {
+        for plan in plan_model_with(model, &config.geometry, mode) {
+            for unit in &plan.units {
+                if let UnitPlan::Conv(c) = unit {
+                    let label = format!("{}/{mode:?}", c.name);
+                    plan_diags.extend(check::check_row_budget(&label, c));
+                    plan_diags.extend(check::check_conv_reconciliation(&label, c));
+                }
+            }
+        }
+    }
+    report.record("plan-reconciliation", plan_diags);
+
+    report.record("dump-overlap", check_dump_overlap(config, model));
+    report
+}
+
+/// Checks the reserved-way dump-overlap window invariants of the batching
+/// model (V011): overlap savings can never exceed the efficiency-scaled
+/// conflict window, the last image's dump share can never hide, and the
+/// residual stall can never go negative.
+#[must_use]
+pub fn check_dump_overlap(config: &SystemConfig, model: &Model) -> Vec<Diagnostic> {
+    let cost = BatchCostModel::new(config, model);
+    let mut out = Vec::new();
+    let tol = 1e-9;
+    for batch in [1usize, 2, 3, 4, 8, 16, 32] {
+        let r = cost.report(batch);
+        let saved = r.dump_overlap_saved.as_secs_f64();
+        let dump = r.dump_time.as_secs_f64();
+        let per_image = r.per_image_time.as_secs_f64();
+        let b = batch as f64;
+        let share_cap = dump * ((b - 1.0) / b) * DUMP_OVERLAP_EFFICIENCY;
+        let window_cap = per_image * (b - 1.0) * DUMP_OVERLAP_EFFICIENCY;
+        if saved < -tol {
+            out.push(Diagnostic::new(
+                ErrorCode::ReservedWayPortConflict,
+                format!("batch={batch}"),
+                format!("negative dump overlap saving {saved:.3e}s"),
+            ));
+        }
+        if saved > share_cap + tol {
+            out.push(Diagnostic::new(
+                ErrorCode::ReservedWayPortConflict,
+                format!("batch={batch}"),
+                format!(
+                    "overlap saving {saved:.3e}s exceeds the overlappable dump share \
+                     {share_cap:.3e}s (the last image's dump cannot hide)"
+                ),
+            ));
+        }
+        if saved > window_cap + tol {
+            out.push(Diagnostic::new(
+                ErrorCode::ReservedWayPortConflict,
+                format!("batch={batch}"),
+                format!(
+                    "overlap saving {saved:.3e}s exceeds the port-conflict window \
+                     {window_cap:.3e}s of {} overlappable compute spans",
+                    batch - 1
+                ),
+            ));
+        }
+        if r.dump_stall().as_secs_f64() < -tol {
+            out.push(Diagnostic::new(
+                ErrorCode::ReservedWayPortConflict,
+                format!("batch={batch}"),
+                "negative residual dump stall".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the functional executor under every sparsity mode (sequential and
+/// threaded) and reconciles the executed [`CycleStats`] against the static
+/// schedules (V010): dense executes zero elisions, every mode schedules
+/// the same statically predicted multiplier-round count, elided cycles
+/// reconcile exactly against dense, the dynamic detect charge equals the
+/// scheduled rounds, engines agree cycle-for-cycle, and outputs stay
+/// bit-identical across all of it.
+///
+/// # Errors
+///
+/// Propagates the executor's failure (e.g. a shape-only model).
+pub fn check_executed_model(
+    config: &SystemConfig,
+    model: &Model,
+    input: &QTensor,
+) -> Result<VerifyReport, FunctionalError> {
+    let mut report = check_model(config, model);
+    let mut diags = Vec::new();
+
+    let run = |mode: SparsityMode,
+               engine: ExecutionEngine|
+     -> Result<FunctionalResult, FunctionalError> {
+        run_model_configured(model, input, engine, mode)
+    };
+    let dense = run(SparsityMode::Dense, ExecutionEngine::Sequential)?;
+    let skipping = run(SparsityMode::SkipZeroRows, ExecutionEngine::Sequential)?;
+    let dynamic = run(SparsityMode::SkipZeroInputs, ExecutionEngine::Sequential)?;
+    let both = run(SparsityMode::SkipBoth, ExecutionEngine::Sequential)?;
+    let threaded = run(SparsityMode::Dense, ExecutionEngine::from_threads(4))?;
+
+    let predicted_rounds = predicted_mul_rounds(config, model);
+    let mut expect = |cond: bool, op: &str, msg: String| {
+        if !cond {
+            diags.push(Diagnostic::new(ErrorCode::CycleMismatchExecuted, op, msg));
+        }
+    };
+
+    let d = dense.cycles;
+    expect(
+        d.skipped_rounds == 0
+            && d.input_rounds_skipped == 0
+            && d.detect_cycles == 0
+            && d.skipped_cycles == 0,
+        "dense",
+        format!("dense execution elided work: {d:?}"),
+    );
+    expect(
+        d.mul_rounds == predicted_rounds,
+        "dense/rounds",
+        format!(
+            "executed {} multiplier rounds; the static plan schedules {predicted_rounds}",
+            d.mul_rounds
+        ),
+    );
+    for (name, r) in [
+        ("skip_rows", &skipping),
+        ("skip_inputs", &dynamic),
+        ("skip_both", &both),
+    ] {
+        expect(
+            r.cycles.mul_rounds == d.mul_rounds,
+            name,
+            format!(
+                "{name} scheduled {} rounds; dense scheduled {}",
+                r.cycles.mul_rounds, d.mul_rounds
+            ),
+        );
+        expect(
+            r.output == dense.output,
+            name,
+            format!("{name} output diverges from dense"),
+        );
+    }
+
+    let s = skipping.cycles;
+    expect(
+        s.compute_cycles + s.skipped_cycles == d.compute_cycles,
+        "skip_rows/cycles",
+        format!(
+            "executed {} + saved {} != dense {}",
+            s.compute_cycles, s.skipped_cycles, d.compute_cycles
+        ),
+    );
+    expect(
+        s.skipped_cycles == s.skipped_rounds * (DATA_BITS as u64 + 2),
+        "skip_rows/rounds",
+        format!(
+            "{} skipped rounds should save {} cycles, recorded {}",
+            s.skipped_rounds,
+            s.skipped_rounds * (DATA_BITS as u64 + 2),
+            s.skipped_cycles
+        ),
+    );
+
+    for (name, r) in [("skip_inputs", &dynamic), ("skip_both", &both)] {
+        let c = r.cycles;
+        expect(
+            c.compute_cycles + c.skipped_cycles - c.detect_cycles == d.compute_cycles,
+            name,
+            format!(
+                "executed {} + saved {} - detect {} != dense {}",
+                c.compute_cycles, c.skipped_cycles, c.detect_cycles, d.compute_cycles
+            ),
+        );
+        expect(
+            c.detect_cycles == c.mul_rounds,
+            name,
+            format!(
+                "every scheduled round pays one detect: {} rounds, {} detects",
+                c.mul_rounds, c.detect_cycles
+            ),
+        );
+    }
+    expect(
+        dynamic.cycles.skipped_cycles
+            == dynamic.cycles.input_rounds_skipped * (DATA_BITS as u64 + 2),
+        "skip_inputs/rounds",
+        format!(
+            "{} elided input rounds should save {} cycles, recorded {}",
+            dynamic.cycles.input_rounds_skipped,
+            dynamic.cycles.input_rounds_skipped * (DATA_BITS as u64 + 2),
+            dynamic.cycles.skipped_cycles
+        ),
+    );
+
+    expect(
+        threaded.cycles == d && threaded.output == dense.output,
+        "engines",
+        format!(
+            "threaded execution diverges from sequential: {:?} vs {d:?}",
+            threaded.cycles
+        ),
+    );
+
+    report.record("executed-reconciliation", diags);
+    Ok(report)
+}
+
+/// The multiplier-round count the static plan schedules for one full
+/// inference: every convolution output position runs `ceil(m / groups)`
+/// MAC passes of `arrays_per_filter x eff_window` taps, each tap one
+/// 8-round bit-serial multiply — mirroring the executor's sharding
+/// exactly.
+#[must_use]
+pub fn predicted_mul_rounds(config: &SystemConfig, model: &Model) -> u64 {
+    let mut rounds = 0u64;
+    for plan in plan_model_with(model, &config.geometry, SparsityMode::Dense) {
+        for unit in &plan.units {
+            if let UnitPlan::Conv(c) = unit {
+                let positions = (c.out_shape.h * c.out_shape.w) as u64;
+                let m = c.out_shape.c;
+                let groups = if c.arrays_per_filter == 1 {
+                    (COLS / c.lanes_per_filter).min(m).max(1)
+                } else {
+                    1
+                };
+                let passes = m.div_ceil(groups) as u64;
+                rounds += positions
+                    * passes
+                    * c.arrays_per_filter as u64
+                    * c.eff_window as u64
+                    * DATA_BITS as u64;
+            }
+        }
+    }
+    rounds
+}
+
+/// Re-exported so downstream consumers can name executed cycle totals
+/// without importing `nc-sram` directly.
+pub use nc_sram::CycleStats as ExecutedCycles;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dnn::workload::{random_input, tiny_cnn};
+
+    #[test]
+    fn shape_only_inception_verifies_clean() {
+        let config = SystemConfig::default();
+        let report = check_model(&config, &nc_dnn::inception::inception_v3());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn executed_tiny_cnn_reconciles() {
+        let config = SystemConfig::default();
+        let model = tiny_cnn(42);
+        let input = random_input(model.input_shape, model.input_quant, 7);
+        let report = check_executed_model(&config, &model, &input).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks.iter().any(|c| c == "executed-reconciliation"));
+    }
+
+    #[test]
+    fn predicted_rounds_are_positive_for_conv_models() {
+        let config = SystemConfig::default();
+        assert!(predicted_mul_rounds(&config, &tiny_cnn(1)) > 0);
+    }
+}

@@ -11,7 +11,9 @@
 //! - [`cache`] (`neural-cache`): the Neural Cache mapping + execution engine,
 //! - [`serve`] (`nc-serve`): the discrete-event serving simulator (arrival
 //!   traces, dynamic batching, latency SLOs),
-//! - [`baselines`] (`nc-baselines`): calibrated CPU/GPU comparison models.
+//! - [`baselines`] (`nc-baselines`): calibrated CPU/GPU comparison models,
+//! - [`verify`] (`nc-verify`): the static plan verifier (hazard checks,
+//!   operand-layout lints, three-way cycle reconciliation).
 //!
 //! # Examples
 //!
@@ -24,9 +26,13 @@
 //! assert!(report.total().as_millis_f64() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+
 pub use nc_baselines as baselines;
 pub use nc_dnn as dnn;
 pub use nc_geometry as geometry;
 pub use nc_serve as serve;
 pub use nc_sram as sram;
+pub use nc_verify as verify;
 pub use neural_cache as cache;
