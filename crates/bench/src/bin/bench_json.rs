@@ -1,5 +1,3 @@
-#![forbid(unsafe_code)]
-
 //! Emits `BENCH_functional.json`: sequential-vs-threaded wall time of the
 //! functional executor on the Inception v3 proxy workloads, the
 //! dense-vs-pruned sparsity section (simulated cycles, wall times, the
@@ -27,20 +25,14 @@
 
 use std::process::ExitCode;
 
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use nc_bench::parse_flag;
 
 fn main() -> ExitCode {
+    let threads = nc_bench::threads_flag(4);
+    nc_bench::verify_prepass();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads: usize = parse_flag(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes an integer"))
-        .unwrap_or(4);
-    let reps: usize = parse_flag(&args, "--reps")
-        .map(|v| v.parse().expect("--reps takes an integer"))
-        .unwrap_or(3);
+    let reps: usize =
+        parse_flag(&args, "--reps").map_or(3, |v| v.parse().expect("--reps takes an integer"));
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_functional.json".to_owned());
 
     let comparisons = nc_bench::perf::compare_engines(threads, reps);

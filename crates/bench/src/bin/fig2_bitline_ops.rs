@@ -1,6 +1,4 @@
-#![forbid(unsafe_code)]
-
 //! Regenerates the paper artifact; see `nc_bench::fig2`.
 fn main() {
-    print!("{}", nc_bench::fig2());
+    nc_bench::emit_artifact(nc_bench::fig2);
 }

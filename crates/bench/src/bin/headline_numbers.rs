@@ -1,6 +1,4 @@
-#![forbid(unsafe_code)]
-
 //! Regenerates the paper artifact; see `nc_bench::headlines`.
 fn main() {
-    print!("{}", nc_bench::headlines());
+    nc_bench::emit_artifact(nc_bench::headlines);
 }

@@ -1,5 +1,3 @@
-#![forbid(unsafe_code)]
-
 //! Self-check binary: regenerates every table/figure artifact and verifies
 //! the paper's headline constants appear in each, exiting non-zero on any
 //! mismatch. A fast end-to-end sanity gate for the whole reproduction
@@ -8,6 +6,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    nc_bench::verify_prepass();
     // Dense-vs-pruned skip comparisons: computed once, shared by the
     // sparsity artifact rendering and the cross-check guard below.
     let sparsity_comps = nc_bench::perf::compare_sparsity(1);

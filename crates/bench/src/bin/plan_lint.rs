@@ -1,18 +1,19 @@
-#![forbid(unsafe_code)]
-
-//! Static plan lint gate: runs the `nc-verify` hazard checks and
-//! three-way cycle reconciliation over every shipped workload under all
-//! four sparsity modes, writes the diagnostics as a JSON artifact, and
-//! exits non-zero on *any* diagnostic — so CI fails the moment a plan,
-//! schedule, cost model, or executor drifts out of agreement.
+//! Static plan lint gate: runs the `nc-verify` hazard checks, three-way
+//! cycle reconciliation, and the shard-graph concurrency proof over every
+//! shipped workload under all four sparsity modes, writes the diagnostics
+//! (and per-workload shard-graph stats) as a JSON artifact, and exits
+//! non-zero on *any* diagnostic — so CI fails the moment a plan, schedule,
+//! cost model, executor, or the Threaded engine's work decomposition
+//! drifts out of agreement.
 //!
 //! Shape-only workloads (the full Inception v3 graph) get the static
 //! passes: operand-layout lints, per-mode MAC-tap schedule hazards,
 //! cost-model anchors, per-layer lane geometry / row budget / static ↔
-//! analytical MAC cycles, and the reserved-way dump-overlap window.
-//! Weighted workloads additionally run the functional executor under
-//! every mode and reconcile the executed `CycleStats` against both
-//! static schedules and the analytical model.
+//! analytical MAC cycles, the reserved-way dump-overlap window, and the
+//! shard-graph happens-before analysis (V013–V019). Weighted workloads
+//! additionally run the functional executor under every sparsity mode on
+//! both engines and reconcile the executed `CycleStats` and `ArrayPool`
+//! event counters (V020) against the static predictions.
 //!
 //! ```bash
 //! cargo run --release -p nc-bench --bin plan_lint -- --out PLAN_LINT.json
@@ -27,13 +28,7 @@ use nc_dnn::workload::{
 };
 use nc_dnn::Model;
 use nc_verify::report::VerifyReport;
-use nc_verify::{check_executed_model, check_model};
-
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use nc_verify::{check_executed_model, check_threaded_model};
 
 /// Runs the static-only or static+executed verification for one workload.
 fn verify(model: &Model, executed: bool) -> VerifyReport {
@@ -45,7 +40,7 @@ fn verify(model: &Model, executed: bool) -> VerifyReport {
             Err(e) => {
                 // An executor failure is itself a gate failure: surface it
                 // as a report whose only "diagnostic" is the error text.
-                let mut report = check_model(&config, model);
+                let mut report = check_threaded_model(&config, model);
                 report.record(
                     "executed-reconciliation",
                     vec![nc_verify::diag::Diagnostic::new(
@@ -58,16 +53,17 @@ fn verify(model: &Model, executed: bool) -> VerifyReport {
             }
         }
     } else {
-        check_model(&config, model)
+        check_threaded_model(&config, model)
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out = parse_flag(&args, "--out").unwrap_or_else(|| "PLAN_LINT.json".into());
+    let out = nc_bench::parse_flag(&args, "--out").unwrap_or_else(|| "PLAN_LINT.json".into());
 
     // (workload, run the executed leg too). Inception v3 proper is
-    // shape-only; every weighted workload executes under all four modes.
+    // shape-only; every weighted workload executes under all four modes
+    // on both engines.
     let workloads: [(Model, bool); 6] = [
         (inception_v3(), false),
         (pruned_inception(3), true),
@@ -82,9 +78,14 @@ fn main() -> ExitCode {
     for (model, executed) in &workloads {
         let report = verify(model, *executed);
         let n = report.diagnostics.len();
+        let shards = report
+            .stats
+            .iter()
+            .find(|(name, _)| name == "shard_jobs")
+            .map_or(0, |(_, v)| *v);
         if report.is_clean() {
             println!(
-                "ok   {}: {} check(s) clean{}",
+                "ok   {}: {} check(s) clean, {shards} shard job(s) race-free{}",
                 report.subject,
                 report.checks.len(),
                 if *executed {

@@ -1,19 +1,11 @@
-#![forbid(unsafe_code)]
-
 //! Regenerates every table and figure of the paper's evaluation in one run.
 //!
 //! `--threads N` runs the simulators behind the artifacts on the threaded
 //! execution engine (N worker threads); the regenerated numbers are
 //! identical, only host wall-clock changes.
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        let threads: usize = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--threads takes an integer");
-        nc_bench::set_threads(threads);
-    }
+    nc_bench::threads_flag(1);
+    nc_bench::verify_prepass();
     for (title, text) in [
         ("== Table I ==", nc_bench::table1()),
         ("== Table II ==", nc_bench::table2()),

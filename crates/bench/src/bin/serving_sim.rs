@@ -1,5 +1,3 @@
-#![forbid(unsafe_code)]
-
 //! Runs the `nc-serve` serving bench (offered-load sweep + trace/policy
 //! matrix) and prints the human-readable table; exits non-zero when the
 //! serving sanity gate (conservation, monotone latency vs load, goodput
@@ -12,13 +10,8 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads = nc_bench::threads_flag(4);
+    nc_bench::verify_prepass();
 
     let bench = nc_bench::serving::run_serving_bench(threads);
     print!("{}", nc_bench::serving::render_text(&bench));

@@ -1,6 +1,4 @@
-#![forbid(unsafe_code)]
-
 //! Sparsity extension analysis; see `nc_bench::sparsity`.
 fn main() {
-    print!("{}", nc_bench::sparsity());
+    nc_bench::emit_artifact(nc_bench::sparsity);
 }

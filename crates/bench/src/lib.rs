@@ -36,7 +36,7 @@ pub mod perf;
 pub mod serving;
 
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::{Once, OnceLock};
 
 use nc_baselines::{cpu_xeon_e5, gpu_titan_xp, PlatformConfig};
 use nc_dnn::inception::inception_v3;
@@ -64,6 +64,56 @@ pub fn base_config() -> SystemConfig {
     let mut config = SystemConfig::xeon_e5_2697_v3();
     config.parallelism = *ENGINE.get_or_init(|| ExecutionEngine::Sequential);
     config
+}
+
+/// Returns the value following `flag` in `args` (the shared CLI
+/// convention of every artifact binary).
+#[must_use]
+pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses the shared `--threads N` flag from the process arguments, wires
+/// it into [`set_threads`], and returns it (`default` when the flag is
+/// absent). Called for the wiring side effect; the return value is a
+/// convenience for binaries that also pass the count along.
+#[allow(clippy::must_use_candidate)]
+pub fn threads_flag(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_flag(&args, "--threads")
+        .map_or(default, |v| v.parse().expect("--threads takes an integer"));
+    set_threads(threads);
+    threads
+}
+
+/// Static pre-flight every artifact binary runs before printing numbers:
+/// full plan verification — operand layouts, hazard checks, cycle
+/// reconciliation, and the Threaded engine's shard-graph happens-before
+/// proof (`nc_verify::check_threaded_model`) — on the canary workload.
+/// Shape-only and cheap (nothing executes), and it guarantees no artifact
+/// is ever rendered from an unsound plan. Runs at most once per process.
+///
+/// # Panics
+///
+/// Panics with the full report when any diagnostic fires.
+pub fn verify_prepass() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let report =
+            nc_verify::check_threaded_model(&base_config(), &nc_dnn::workload::tiny_cnn(42));
+        assert!(report.is_clean(), "verify pre-pass failed:\n{report}");
+    });
+}
+
+/// Entry point shared by the single-artifact binaries: parse the shared
+/// `--threads` flag, run the [`verify_prepass`], then print the rendered
+/// artifact.
+pub fn emit_artifact(render: fn() -> String) {
+    threads_flag(1);
+    verify_prepass();
+    print!("{}", render());
 }
 
 /// [`base_config`] with a scaled LLC capacity (Table IV points).

@@ -97,28 +97,55 @@ impl ExecutionEngine {
         }
 
         let next = AtomicUsize::new(0);
+        // Per-worker in-flight job index, so a panicking job can be named
+        // in the propagated message (usize::MAX = idle).
+        let in_flight: Vec<AtomicUsize> =
+            (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect();
         let mut indexed: Vec<(usize, T)> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let in_flight = &in_flight[w];
+                    let next = &next;
+                    let job = &job;
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs {
                                 break;
                             }
+                            in_flight.store(i, Ordering::Release);
                             local.push((i, job(i)));
                         }
+                        in_flight.store(usize::MAX, Ordering::Release);
                         local
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+            let mut collected = Vec::with_capacity(jobs);
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(local) => collected.extend(local),
+                    Err(payload) => {
+                        let i = in_flight[w].load(Ordering::Acquire);
+                        let cause = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panic!("shard worker {w} panicked on job {i}: {cause}");
+                    }
+                }
+            }
+            collected
         });
         indexed.sort_unstable_by_key(|(i, _)| *i);
+        // Runtime shard-coverage check (the dynamic analogue of the static
+        // verifier's V018): the scheduler must run every job exactly once.
+        debug_assert!(
+            indexed.iter().map(|(i, _)| *i).eq(0..jobs),
+            "threaded scheduler dropped or duplicated a shard job"
+        );
         indexed.into_iter().map(|(_, value)| value).collect()
     }
 }
@@ -185,6 +212,27 @@ mod tests {
         let engine = ExecutionEngine::from_threads(8);
         assert_eq!(engine.run(0, |i| i), Vec::<usize>::new());
         assert_eq!(engine.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_panic_names_the_failing_job() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ExecutionEngine::from_threads(2).run(4, |i| {
+                assert!(i != 3, "job blew up");
+                i
+            })
+        }));
+        let payload = result.expect_err("the job panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic message is a formatted string");
+        assert!(
+            msg.contains("panicked on job 3"),
+            "panic must name the failing job index: {msg}"
+        );
+        assert!(msg.contains("shard worker"), "message: {msg}");
+        assert!(msg.contains("job blew up"), "cause preserved: {msg}");
     }
 
     #[test]

@@ -66,6 +66,24 @@ pub struct FunctionalResult {
     pub sublayers: Vec<SublayerRecord>,
     /// Total array cycles consumed by the in-cache operations.
     pub cycles: CycleStats,
+    /// [`ArrayPool`] checkout totals of the run (deterministic across
+    /// engines and sparsity modes; see [`PoolEvents`]).
+    pub pool: PoolEvents,
+}
+
+/// The deterministic [`ArrayPool`] event totals of one execution: how many
+/// arrays the shard jobs checked out and returned. Both counts depend only
+/// on the model's work decomposition — never on thread scheduling or
+/// sparsity mode — which is exactly why the `nc-verify` shard-graph
+/// reconciliation can pin them statically. The scheduling-dependent
+/// fresh/recycled split stays in [`nc_sram::PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolEvents {
+    /// Total pool checkouts across every shard job of the run.
+    pub acquires: u64,
+    /// Total handles returned; a completed run always matches `acquires`
+    /// (shard jobs own their arrays for exactly the job's lifetime).
+    pub releases: u64,
 }
 
 /// Errors of the functional executor.
@@ -171,10 +189,19 @@ pub fn run_model_configured(
         let out = exec.run_layer(layer, &cur, &mut sublayers)?;
         cur = out;
     }
+    let stats = exec.pool.stats();
+    debug_assert_eq!(
+        stats.acquires, stats.releases,
+        "every shard job must return its arrays before the run completes"
+    );
     Ok(FunctionalResult {
         output: cur,
         sublayers,
         cycles: exec.cycles,
+        pool: PoolEvents {
+            acquires: stats.acquires,
+            releases: stats.releases,
+        },
     })
 }
 
@@ -437,6 +464,8 @@ impl Exec {
         let positions = out_shape.h * out_shape.w;
         let filter_lanes = &filter_lanes;
         let c0 = &c0;
+        #[cfg(debug_assertions)]
+        let acquires_before = self.pool.stats().acquires;
         let shards = engine.run(positions, |pos| -> Result<(Vec<i64>, CycleStats)> {
             let (ey, ex) = (pos / out_shape.w, pos % out_shape.w);
             let mut cycles = CycleStats::new();
@@ -483,6 +512,23 @@ impl Exec {
         // across arrays and slices by bus+ring transfers (host-combined
         // here, exactly like the paper's per-array results).
         let (min, max) = self.min_max_in_cache(&acc_values)?;
+        // Debug-mode pool-event accounting: the checkout count of this
+        // sub-layer must equal the shard-graph prediction `nc-verify`
+        // reconciles statically (MAC runs + per-group assemblies per
+        // position, then two ranging checkouts per 256-lane chunk).
+        #[cfg(debug_assertions)]
+        {
+            let runs = spec.m.div_ceil(groups_per_array) as u64;
+            let per_position = runs * arrays_per_filter as u64 + spec.m as u64;
+            let ranging = 2 * acc_values.len().div_ceil(COLS) as u64;
+            debug_assert_eq!(
+                self.pool.stats().acquires - acquires_before,
+                positions as u64 * per_position + ranging,
+                "{}: executed pool checkouts drifted from the planned shard \
+                 decomposition",
+                spec.name
+            );
+        }
         debug_assert_eq!(
             (min, max),
             (

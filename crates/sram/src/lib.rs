@@ -84,7 +84,7 @@ pub use bitrow::BitRow;
 pub use compute::{ComputeArray, Predicate};
 pub use error::SramError;
 pub use operand::Operand;
-pub use pool::{ArrayPool, PooledArray};
+pub use pool::{ArrayPool, PoolStats, PooledArray};
 pub use sram::SramArray;
 pub use stats::{ArrayEnergy, ArrayTimings, CycleStats};
 pub use transpose::{TransposeUnit, TMU_TILE_DIM};

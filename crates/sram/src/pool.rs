@@ -9,9 +9,59 @@
 //! threads of a sharded execution engine can draw from one shared pool.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::{ComputeArray, Result};
+
+/// A monotonic snapshot of one [`ArrayPool`]'s checkout/recycle events.
+///
+/// The counters record the pool's whole lifetime, so a caller can diff two
+/// snapshots around a region of interest. `acquires` and `releases` are
+/// deterministic for a given workload (each shard job checks out a fixed
+/// number of arrays and its handles drop when the job ends); the
+/// fresh/recycled split and the high-water mark depend on thread timing
+/// and are reported for observability only. The static shard-graph
+/// verifier (`nc-verify`) reconciles its predicted checkout count against
+/// `acquires` — a mismatch means the executor's real work decomposition
+/// drifted from the verified plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total [`ArrayPool::acquire`] calls.
+    pub acquires: u64,
+    /// Total handle drops that returned an array to the pool's release
+    /// path (whether retained or dropped over the idle cap).
+    pub releases: u64,
+    /// Acquires served by constructing a fresh array.
+    pub fresh: u64,
+    /// Acquires served by recycling an idle array.
+    pub recycled: u64,
+    /// Releases discarded because the pool was at its idle cap.
+    pub dropped: u64,
+    /// Maximum number of simultaneously checked-out arrays observed.
+    pub high_water: u64,
+}
+
+impl PoolStats {
+    /// Number of arrays currently checked out (live handles).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.acquires - self.releases
+    }
+}
+
+/// Relaxed atomic event counters behind [`PoolStats`]. Relaxed ordering
+/// suffices: the counters are monotone tallies read after the workers'
+/// scoped join, which already synchronizes.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    acquires: AtomicU64,
+    releases: AtomicU64,
+    fresh: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+    high_water: AtomicU64,
+}
 
 /// A recycling pool of [`ComputeArray`]s sharing one zero-row configuration.
 ///
@@ -36,6 +86,7 @@ pub struct ArrayPool {
     zero_row: Option<usize>,
     free: Mutex<Vec<ComputeArray>>,
     max_idle: usize,
+    counters: PoolCounters,
 }
 
 impl ArrayPool {
@@ -55,6 +106,7 @@ impl ArrayPool {
             zero_row: None,
             free: Mutex::new(Vec::new()),
             max_idle: Self::DEFAULT_MAX_IDLE,
+            counters: PoolCounters::default(),
         }
     }
 
@@ -70,6 +122,7 @@ impl ArrayPool {
             zero_row: Some(row),
             free: Mutex::new(vec![probe]),
             max_idle: Self::DEFAULT_MAX_IDLE,
+            counters: PoolCounters::default(),
         })
     }
 
@@ -95,10 +148,39 @@ impl ArrayPool {
     #[must_use]
     pub fn acquire(&self) -> PooledArray<'_> {
         let recycled = self.free.lock().expect("array pool poisoned").pop();
+        let c = &self.counters;
+        c.acquires.fetch_add(1, Ordering::Relaxed);
+        if recycled.is_some() {
+            c.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.fresh.fetch_add(1, Ordering::Relaxed);
+        }
+        // Best-effort high-water mark (the two loads are not atomic
+        // together; under contention the mark may lag by a few handles,
+        // which is fine for an observability counter).
+        let outstanding = c
+            .acquires
+            .load(Ordering::Relaxed)
+            .saturating_sub(c.releases.load(Ordering::Relaxed));
+        c.high_water.fetch_max(outstanding, Ordering::Relaxed);
         let arr = recycled.unwrap_or_else(|| self.fresh());
         PooledArray {
             arr: Some(arr),
             pool: self,
+        }
+    }
+
+    /// A snapshot of the pool's lifetime checkout/recycle event counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.counters;
+        PoolStats {
+            acquires: c.acquires.load(Ordering::Relaxed),
+            releases: c.releases.load(Ordering::Relaxed),
+            fresh: c.fresh.load(Ordering::Relaxed),
+            recycled: c.recycled.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            high_water: c.high_water.load(Ordering::Relaxed),
         }
     }
 
@@ -124,10 +206,14 @@ impl ArrayPool {
         // must not serialize concurrent releasers (a wasted reset on an
         // over-cap array that gets dropped below is harmless).
         arr.reset();
+        self.counters.releases.fetch_add(1, Ordering::Relaxed);
         let mut free = self.free.lock().expect("array pool poisoned");
         if free.len() < self.max_idle {
             free.push(arr);
-        } // else drop: the pool is at its retention cap
+        } else {
+            // Drop: the pool is at its retention cap.
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -245,6 +331,53 @@ mod tests {
             "idle {} exceeds the default cap",
             pool.idle()
         );
+    }
+
+    #[test]
+    fn stats_track_checkout_and_recycle_events() {
+        let pool = ArrayPool::with_zero_row(255).unwrap().with_max_idle(1);
+        assert_eq!(pool.stats(), PoolStats::default(), "fresh pool is silent");
+        {
+            let _a = pool.acquire(); // recycles the probe array
+            let _b = pool.acquire(); // constructs fresh
+            let s = pool.stats();
+            assert_eq!(s.acquires, 2);
+            assert_eq!(s.releases, 0);
+            assert_eq!(s.outstanding(), 2);
+            assert_eq!((s.recycled, s.fresh), (1, 1));
+            assert!(s.high_water >= 2);
+        }
+        let s = pool.stats();
+        assert_eq!(s.releases, 2, "both handles released");
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.dropped, 1, "second release exceeded the idle cap");
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_thread_counts() {
+        // acquires/releases depend only on the job structure, not on
+        // scheduling — the property the verifier's pool reconciliation
+        // rests on. fresh/recycled/high_water may differ; the totals not.
+        let totals: Vec<(u64, u64)> = [1usize, 4]
+            .iter()
+            .map(|&workers| {
+                let pool = ArrayPool::with_zero_row(255).unwrap();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        let pool = &pool;
+                        scope.spawn(move || {
+                            for _ in 0..(64 / workers) {
+                                let _arr = pool.acquire();
+                            }
+                        });
+                    }
+                });
+                let s = pool.stats();
+                (s.acquires, s.releases)
+            })
+            .collect();
+        assert_eq!(totals[0], (64, 64));
+        assert_eq!(totals[0], totals[1]);
     }
 
     #[test]

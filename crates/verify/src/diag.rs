@@ -39,6 +39,30 @@ pub enum ErrorCode {
     ReservedWayPortConflict,
     /// V012: an operand region claims the comparison dump row.
     DumpRowConflict,
+    /// V013: two concurrent shards write overlapping word lines of the
+    /// same array.
+    ShardWriteWriteRace,
+    /// V014: a concurrent shard reads word lines another shard writes in
+    /// the same array.
+    ShardReadWriteRace,
+    /// V015: a cross-shard accumulator read is not dominated by the
+    /// inter-array reduce barrier (or any barrier at all).
+    BarrierBypass,
+    /// V016: the array pool recycled an array still reachable by a live
+    /// shard (two concurrent shards hold the same checkout).
+    PrematureRecycle,
+    /// V017: a shard claims the reserved way inside the batch pipeline's
+    /// dump-overlap window.
+    DumpWindowRace,
+    /// V018: an epoch's shard jobs do not exactly partition its output
+    /// slot space (overlapping or missing coverage).
+    ShardCoverageHole,
+    /// V019: a shard's pool checkouts and returns do not balance (leaked
+    /// or doubly released array).
+    PoolEventImbalance,
+    /// V020: executed `ArrayPool` event counts disagree with the static
+    /// shard graph's prediction.
+    ExecutedPoolMismatch,
 }
 
 impl ErrorCode {
@@ -58,6 +82,14 @@ impl ErrorCode {
             ErrorCode::CycleMismatchExecuted => "V010",
             ErrorCode::ReservedWayPortConflict => "V011",
             ErrorCode::DumpRowConflict => "V012",
+            ErrorCode::ShardWriteWriteRace => "V013",
+            ErrorCode::ShardReadWriteRace => "V014",
+            ErrorCode::BarrierBypass => "V015",
+            ErrorCode::PrematureRecycle => "V016",
+            ErrorCode::DumpWindowRace => "V017",
+            ErrorCode::ShardCoverageHole => "V018",
+            ErrorCode::PoolEventImbalance => "V019",
+            ErrorCode::ExecutedPoolMismatch => "V020",
         }
     }
 }
@@ -166,13 +198,21 @@ mod tests {
             ErrorCode::CycleMismatchExecuted,
             ErrorCode::ReservedWayPortConflict,
             ErrorCode::DumpRowConflict,
+            ErrorCode::ShardWriteWriteRace,
+            ErrorCode::ShardReadWriteRace,
+            ErrorCode::BarrierBypass,
+            ErrorCode::PrematureRecycle,
+            ErrorCode::DumpWindowRace,
+            ErrorCode::ShardCoverageHole,
+            ErrorCode::PoolEventImbalance,
+            ErrorCode::ExecutedPoolMismatch,
         ];
         let mut seen = std::collections::HashSet::new();
         for code in all {
             assert!(seen.insert(code.as_str()), "duplicate code {code}");
             assert!(code.as_str().starts_with('V'));
         }
-        assert_eq!(seen.len(), 12);
+        assert_eq!(seen.len(), 20);
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Happens-before analysis over the shard graph.
+//!
+//! The Threaded engine's safety argument has four legs, and each leg gets
+//! a static proof obligation here:
+//!
+//! 1. **Shard independence** — no two concurrent shards touch overlapping
+//!    word lines of the same array with a write on either side
+//!    ([`ErrorCode::ShardWriteWriteRace`] /
+//!    [`ErrorCode::ShardReadWriteRace`]).
+//! 2. **Barrier domination** — every cross-shard buffer read happens
+//!    after a join that dominates the writer; ranging's cross-array read
+//!    specifically requires the inter-array *reduce* barrier
+//!    ([`ErrorCode::BarrierBypass`]).
+//! 3. **Pool discipline** — a checkout is returned exactly once, and no
+//!    two live shards ever hold the same checkout
+//!    ([`ErrorCode::PoolEventImbalance`] /
+//!    [`ErrorCode::PrematureRecycle`]).
+//! 4. **Reserved-way hygiene** — the batch pipeline's dump-overlap window
+//!    may coincide with any compute epoch, so no shard may claim the
+//!    reserved way ([`ErrorCode::DumpWindowRace`]), and each epoch's
+//!    shards must exactly partition its output slots
+//!    ([`ErrorCode::ShardCoverageHole`]).
+//!
+//! Concurrency model: shards of one epoch are always mutually concurrent
+//! (that is the Threaded engine's whole point), and epochs whose
+//! separating joins are dropped merge into one concurrency group. The
+//! builder emits every join; race-injection tests drop them.
+//!
+//! Diagnostics are aggregated per epoch (or epoch pair) with occurrence
+//! counts, so a systematic hazard in a million-shard graph produces a
+//! bounded, readable report — nothing is silently truncated, the counts
+//! carry the total.
+
+use std::collections::HashMap;
+
+use crate::diag::{Diagnostic, ErrorCode};
+use crate::shard::{EpochKind, LayoutSpec, ShardGraph};
+
+/// Runs every happens-before check over `graph` and returns the findings
+/// (empty = the concurrency claims hold).
+#[must_use]
+pub fn check_graph(graph: &ShardGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_pool_balance(graph, &mut diags);
+    check_races(graph, &mut diags);
+    check_barriers(graph, &mut diags);
+    check_dump_windows(graph, &mut diags);
+    check_coverage(graph, &mut diags);
+    diags
+}
+
+/// V019: every pool checkout must be returned exactly once by the shard
+/// that made it.
+fn check_pool_balance(graph: &ShardGraph, diags: &mut Vec<Diagnostic>) {
+    for epoch in &graph.epochs {
+        let mut violations = 0u64;
+        let mut example = None;
+        for (s, shard) in epoch.shards.iter().enumerate() {
+            for use_ in &shard.uses {
+                if use_.acquired != use_.released {
+                    violations += u64::from(use_.count);
+                    example.get_or_insert((s, use_));
+                }
+            }
+        }
+        if let Some((s, use_)) = example {
+            let what = if use_.acquired {
+                "leaked"
+            } else {
+                "returned without a checkout"
+            };
+            diags.push(Diagnostic::new(
+                ErrorCode::PoolEventImbalance,
+                epoch.label.clone(),
+                format!(
+                    "{violations} array(s) {what} (first: shard {s}, {} arrays {}..{} staged as `{}`)",
+                    use_.count,
+                    use_.first_array,
+                    use_.first_array + use_.count,
+                    layout_name(graph, use_.layout),
+                ),
+            ));
+        }
+    }
+}
+
+/// One pool-use interval flattened for the overlap sweep.
+struct UseRef {
+    start: u32,
+    end: u32,
+    epoch: usize,
+    shard: usize,
+    layout: u32,
+    acquired: bool,
+}
+
+/// V013/V014/V016: sweep each concurrency group for shards whose array
+/// intervals overlap, and classify the hazard.
+///
+/// Two concurrent shards holding the *same checkout* means the pool
+/// recycled a live array — V016, the root cause, regardless of rows. An
+/// overlap involving a raw (unacquired) touch is judged row-exactly
+/// against the pass layouts: write/write → V013, write/read → V014,
+/// read/read → harmless.
+fn check_races(graph: &ShardGraph, diags: &mut Vec<Diagnostic>) {
+    // (code, epoch pair) → (count, example message).
+    let mut found: HashMap<(ErrorCode, usize, usize), (u64, String)> = HashMap::new();
+
+    for (lo, hi) in concurrency_groups(graph) {
+        let mut refs: Vec<UseRef> = Vec::new();
+        for (e, epoch) in graph.epochs.iter().enumerate().take(hi + 1).skip(lo) {
+            for (s, shard) in epoch.shards.iter().enumerate() {
+                for use_ in &shard.uses {
+                    refs.push(UseRef {
+                        start: use_.first_array,
+                        end: use_.first_array + use_.count,
+                        epoch: e,
+                        shard: s,
+                        layout: use_.layout,
+                        acquired: use_.acquired,
+                    });
+                }
+            }
+        }
+        refs.sort_unstable_by_key(|r| r.start);
+        for i in 0..refs.len() {
+            for j in (i + 1)..refs.len() {
+                if refs[j].start >= refs[i].end {
+                    break;
+                }
+                let (a, b) = (&refs[i], &refs[j]);
+                if a.epoch == b.epoch && a.shard == b.shard {
+                    continue; // program order within one shard job
+                }
+                let Some((code, detail)) = classify(graph, a, b) else {
+                    continue;
+                };
+                let key = (code, a.epoch.min(b.epoch), a.epoch.max(b.epoch));
+                let entry = found.entry(key).or_insert_with(|| (0, detail));
+                entry.0 += 1;
+            }
+        }
+    }
+
+    let mut keys: Vec<_> = found.keys().copied().collect();
+    keys.sort_unstable_by_key(|&(code, a, b)| (code.as_str(), a, b));
+    for key in keys {
+        let (code, a, b) = key;
+        let (count, example) = &found[&key];
+        let op = if a == b {
+            graph.epochs[a].label.clone()
+        } else {
+            format!("{} × {}", graph.epochs[a].label, graph.epochs[b].label)
+        };
+        diags.push(Diagnostic::new(
+            code,
+            op,
+            format!("{count} concurrent shard pair(s) collide on the same array ({example})"),
+        ));
+    }
+}
+
+/// Classifies one overlapping pair of concurrent pool uses.
+fn classify(graph: &ShardGraph, a: &UseRef, b: &UseRef) -> Option<(ErrorCode, String)> {
+    let arrays = (a.start.max(b.start), a.end.min(b.end));
+    if a.acquired && b.acquired {
+        return Some((
+            ErrorCode::PrematureRecycle,
+            format!(
+                "checkout {}..{} held by shards {} and {} simultaneously",
+                arrays.0, arrays.1, a.shard, b.shard
+            ),
+        ));
+    }
+    let (la, lb) = (
+        &graph.layouts[a.layout as usize],
+        &graph.layouts[b.layout as usize],
+    );
+    if la.writes_overlap(lb) {
+        let rows = first_overlap(&la.writes, &lb.writes);
+        return Some((
+            ErrorCode::ShardWriteWriteRace,
+            format!(
+                "`{}` and `{}` both write rows {}..{} of array {}",
+                la.name, lb.name, rows.0, rows.1, arrays.0
+            ),
+        ));
+    }
+    if la.write_read_overlap(lb) {
+        let rows = first_overlap(&la.writes, &lb.reads).max(first_overlap(&lb.writes, &la.reads));
+        return Some((
+            ErrorCode::ShardReadWriteRace,
+            format!(
+                "`{}` writes rows {}..{} that `{}` reads in array {}",
+                la.name, rows.0, rows.1, lb.name, arrays.0
+            ),
+        ));
+    }
+    None
+}
+
+fn first_overlap(a: &[(u16, u16)], b: &[(u16, u16)]) -> (u16, u16) {
+    for &(s1, e1) in a {
+        for &(s2, e2) in b {
+            if s1 < e2 && s2 < e1 {
+                return (s1.max(s2), e1.min(e2));
+            }
+        }
+    }
+    (0, 0)
+}
+
+/// Maximal runs `[lo, hi]` of epochs not separated by a live join.
+fn concurrency_groups(graph: &ShardGraph) -> Vec<(usize, usize)> {
+    let mut groups = Vec::new();
+    let mut lo = 0;
+    for (i, &joined) in graph.joins.iter().enumerate() {
+        if joined {
+            groups.push((lo, i));
+            lo = i + 1;
+        }
+    }
+    if lo < graph.epochs.len() {
+        groups.push((lo, graph.epochs.len() - 1));
+    }
+    groups
+}
+
+/// V015: every epoch reading a buffer must be dominated by a join after
+/// the writing epoch — and ranging's cross-array accumulator read by a
+/// join flagged as the inter-array reduce barrier.
+fn check_barriers(graph: &ShardGraph, diags: &mut Vec<Diagnostic>) {
+    for (e, epoch) in graph.epochs.iter().enumerate() {
+        let Some(buffer) = epoch.reads_buffer else {
+            continue;
+        };
+        let Some(writer) = graph
+            .epochs
+            .iter()
+            .position(|w| w.writes_buffer == Some(buffer))
+        else {
+            continue; // host-produced input, dominated by program order
+        };
+        let needs_reduce = epoch.kind == EpochKind::Ranging;
+        let dominated = writer < e
+            && (writer..e)
+                .any(|k| graph.joins[k] && (!needs_reduce || graph.reduce_barriers.contains(&k)));
+        if !dominated {
+            let kind = if needs_reduce {
+                "the inter-array reduce barrier"
+            } else {
+                "any barrier"
+            };
+            diags.push(Diagnostic::new(
+                ErrorCode::BarrierBypass,
+                epoch.label.clone(),
+                format!(
+                    "cross-shard read of buffer {buffer} (written by `{}`) is not dominated by {kind}",
+                    graph.epochs[writer].label
+                ),
+            ));
+        }
+    }
+}
+
+/// V017: no shard may claim the reserved way while the batch pipeline's
+/// dump-overlap window can coincide with its epoch.
+fn check_dump_windows(graph: &ShardGraph, diags: &mut Vec<Diagnostic>) {
+    for epoch in &graph.epochs {
+        if !epoch.dump_window {
+            continue;
+        }
+        let offenders = epoch.shards.iter().filter(|s| s.reserved_way).count();
+        if offenders > 0 {
+            diags.push(Diagnostic::new(
+                ErrorCode::DumpWindowRace,
+                epoch.label.clone(),
+                format!(
+                    "{offenders} shard(s) claim the reserved way inside the dump-overlap window"
+                ),
+            ));
+        }
+    }
+}
+
+/// V018: the shards of each epoch must exactly partition its output slot
+/// space — no overlap (double write), no gap (dropped shard).
+fn check_coverage(graph: &ShardGraph, diags: &mut Vec<Diagnostic>) {
+    for epoch in &graph.epochs {
+        let Some(total) = epoch.out_slots else {
+            continue;
+        };
+        let mut ranges: Vec<(u64, u64)> = epoch
+            .shards
+            .iter()
+            .filter_map(|s| s.write_slots)
+            .filter(|&(s, e)| s < e)
+            .collect();
+        ranges.sort_unstable();
+        let mut overlaps = 0u64;
+        let mut holes = 0u64;
+        let mut example = None;
+        let mut cursor = 0u64;
+        for &(start, end) in &ranges {
+            if start > cursor {
+                holes += 1;
+                example.get_or_insert(format!("slots {cursor}..{start} written by no shard"));
+            } else if start < cursor {
+                overlaps += 1;
+                example.get_or_insert(format!(
+                    "slots {start}..{} written by more than one shard",
+                    cursor.min(end)
+                ));
+            }
+            cursor = cursor.max(end);
+        }
+        if cursor < total {
+            holes += 1;
+            example.get_or_insert(format!("slots {cursor}..{total} written by no shard"));
+        } else if cursor > total {
+            overlaps += 1;
+            example.get_or_insert(format!("slots spill past the {total}-slot output"));
+        }
+        if let Some(example) = example {
+            diags.push(Diagnostic::new(
+                ErrorCode::ShardCoverageHole,
+                epoch.label.clone(),
+                format!(
+                    "shards do not partition the {total} output slots \
+                     ({overlaps} overlap(s), {holes} hole(s); first: {example})"
+                ),
+            ));
+        }
+    }
+}
+
+fn layout_name(graph: &ShardGraph, layout: u32) -> &str {
+    graph
+        .layouts
+        .get(layout as usize)
+        .map_or("?", |l: &LayoutSpec| l.name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardGraph;
+    use nc_dnn::workload::tiny_cnn;
+
+    fn graph() -> ShardGraph {
+        ShardGraph::from_model(&tiny_cnn(42))
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        assert_eq!(check_graph(&graph()), Vec::new());
+    }
+
+    #[test]
+    fn dropped_reduce_barrier_is_a_bypass() {
+        let mut g = graph();
+        let barrier = g.reduce_barriers[0];
+        g.joins[barrier] = false;
+        let diags = check_graph(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, ErrorCode::BarrierBypass);
+        assert!(diags[0].message.contains("reduce barrier"));
+    }
+
+    #[test]
+    fn recycled_live_checkout_is_flagged() {
+        let mut g = graph();
+        // Alias shard 1's first checkout onto shard 0's.
+        let stolen = g.epochs[0].shards[0].uses[0];
+        g.epochs[0].shards[1].uses[0].first_array = stolen.first_array;
+        let diags = check_graph(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, ErrorCode::PrematureRecycle);
+    }
+
+    #[test]
+    fn missorted_write_slots_break_coverage() {
+        let mut g = graph();
+        let (s, e) = g.epochs[0].shards[0].write_slots.unwrap();
+        g.epochs[0].shards[0].write_slots = Some((s + 1, e + 1));
+        let diags = check_graph(&g);
+        assert!(diags.iter().all(|d| d.code == ErrorCode::ShardCoverageHole));
+        assert!(!diags.is_empty());
+    }
+
+    #[test]
+    fn reserved_way_claim_races_the_dump_window() {
+        let mut g = graph();
+        g.epochs[2].shards[0].reserved_way = true;
+        let diags = check_graph(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, ErrorCode::DumpWindowRace);
+    }
+
+    #[test]
+    fn leaked_checkout_imbalances_the_pool() {
+        let mut g = graph();
+        g.epochs[1].shards[0].uses[0].released = false;
+        let diags = check_graph(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, ErrorCode::PoolEventImbalance);
+        assert!(diags[0].message.contains("leaked"));
+    }
+}

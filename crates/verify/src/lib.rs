@@ -26,12 +26,20 @@
 //!    analytical [`neural_cache::cost::CostModel`] cycles == executed
 //!    [`nc_sram::CycleStats`], per layer per sparsity mode, reported as
 //!    structured [`diag::Diagnostic`]s with stable `Vxxx` codes.
+//! 4. **Concurrency layer** ([`shard`] + [`hb`]): the Threaded engine's
+//!    shard graph — per-output-window/per-chunk jobs, the inter-array
+//!    reduce barrier, `ArrayPool` checkout/recycle events — rebuilt from
+//!    the model and proven race-free by happens-before analysis
+//!    (V013–V019), then reconciled against the executed pool counters
+//!    (V020).
 //!
 //! Entry points: [`check_model`] (static + analytical legs, works on
-//! shape-only models) and [`check_executed_model`] (adds the executed
-//! leg by running the functional executor). The `plan_lint` bench bin
-//! sweeps every shipped workload × sparsity mode × engine and fails CI on
-//! any diagnostic.
+//! shape-only models), [`check_threaded_model`] (adds the shard-graph
+//! concurrency proof, still shape-only), and [`check_executed_model`]
+//! (adds the executed leg by running the functional executor under all
+//! four sparsity modes on both engines). The `plan_lint` bench bin sweeps
+//! every shipped workload × sparsity mode × engine and fails CI on any
+//! diagnostic.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -52,14 +60,18 @@
 pub mod check;
 pub mod diag;
 pub mod extract;
+pub mod hb;
 pub mod ir;
 pub mod report;
+pub mod shard;
 
 use nc_dnn::{Model, QTensor};
 use nc_sram::COLS;
 use neural_cache::batching::{BatchCostModel, DUMP_OVERLAP_EFFICIENCY};
 use neural_cache::cost::DATA_BITS;
-use neural_cache::functional::{run_model_configured, FunctionalError, FunctionalResult};
+use neural_cache::functional::{
+    run_model_configured, FunctionalError, FunctionalResult, PoolEvents,
+};
 use neural_cache::mapping::{conv_lane_geometry, plan_model_with};
 use neural_cache::{ExecutionEngine, SparsityMode, SystemConfig, UnitPlan};
 
@@ -135,6 +147,68 @@ pub fn check_model(config: &SystemConfig, model: &Model) -> VerifyReport {
     report
 }
 
+/// Everything [`check_model`] proves, plus the concurrency layer: builds
+/// the Threaded engine's shard graph ([`shard::ShardGraph::from_model`])
+/// and runs the happens-before analysis ([`hb::check_graph`]) over it —
+/// shard row-set independence (V013/V014), reduce-barrier domination
+/// (V015), pool recycling discipline (V016/V019), reserved-way dump-window
+/// hygiene (V017), and output-slot coverage (V018).
+///
+/// Works on shape-only models; the graph is derived from shapes and lane
+/// geometry alone. The report's `stats` carry the graph's size for the CI
+/// artifact.
+///
+/// # Panics
+///
+/// Panics if a layer cannot be mapped at all (the mapper's own invariant).
+#[must_use]
+pub fn check_threaded_model(config: &SystemConfig, model: &Model) -> VerifyReport {
+    let mut report = check_model(config, model);
+    let graph = shard::ShardGraph::from_model(model);
+    report.record("shard-graph", hb::check_graph(&graph));
+    report.stat("shard_epochs", graph.epochs.len() as u64);
+    report.stat("shard_jobs", graph.shard_count());
+    report.stat("shard_reduce_barriers", graph.reduce_barriers.len() as u64);
+    report.stat("shard_predicted_acquires", graph.predicted_acquires());
+    report
+}
+
+/// Reconciles one executed run's [`ArrayPool`] event counts against the
+/// shard graph's prediction (V020): the executor must check out exactly
+/// the arrays the static decomposition says it will — on every engine,
+/// under every sparsity mode — and return every one of them.
+///
+/// [`ArrayPool`]: nc_sram::ArrayPool
+#[must_use]
+pub fn reconcile_pool_events(
+    predicted_acquires: u64,
+    label: &str,
+    events: PoolEvents,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if events.acquires != predicted_acquires {
+        out.push(Diagnostic::new(
+            ErrorCode::ExecutedPoolMismatch,
+            label,
+            format!(
+                "executed {} pool checkouts; the shard graph predicts {predicted_acquires}",
+                events.acquires
+            ),
+        ));
+    }
+    if events.releases != events.acquires {
+        out.push(Diagnostic::new(
+            ErrorCode::ExecutedPoolMismatch,
+            label,
+            format!(
+                "{} checkouts vs {} returns: a shard job leaked an array",
+                events.acquires, events.releases
+            ),
+        ));
+    }
+    out
+}
+
 /// Checks the reserved-way dump-overlap window invariants of the batching
 /// model (V011): overlap savings can never exceed the efficiency-scaled
 /// conflict window, the last image's dump share can never hide, and the
@@ -207,7 +281,7 @@ pub fn check_executed_model(
     model: &Model,
     input: &QTensor,
 ) -> Result<VerifyReport, FunctionalError> {
-    let mut report = check_model(config, model);
+    let mut report = check_threaded_model(config, model);
     let mut diags = Vec::new();
 
     let run = |mode: SparsityMode,
@@ -220,6 +294,12 @@ pub fn check_executed_model(
     let dynamic = run(SparsityMode::SkipZeroInputs, ExecutionEngine::Sequential)?;
     let both = run(SparsityMode::SkipBoth, ExecutionEngine::Sequential)?;
     let threaded = run(SparsityMode::Dense, ExecutionEngine::from_threads(4))?;
+    let threaded_rows = run(SparsityMode::SkipZeroRows, ExecutionEngine::from_threads(4))?;
+    let threaded_inputs = run(
+        SparsityMode::SkipZeroInputs,
+        ExecutionEngine::from_threads(4),
+    )?;
+    let threaded_both = run(SparsityMode::SkipBoth, ExecutionEngine::from_threads(4))?;
 
     let predicted_rounds = predicted_mul_rounds(config, model);
     let mut expect = |cond: bool, op: &str, msg: String| {
@@ -316,16 +396,43 @@ pub fn check_executed_model(
         ),
     );
 
-    expect(
-        threaded.cycles == d && threaded.output == dense.output,
-        "engines",
-        format!(
-            "threaded execution diverges from sequential: {:?} vs {d:?}",
-            threaded.cycles
-        ),
-    );
+    for (name, seq, thr) in [
+        ("engines/dense", &dense, &threaded),
+        ("engines/skip_rows", &skipping, &threaded_rows),
+        ("engines/skip_inputs", &dynamic, &threaded_inputs),
+        ("engines/skip_both", &both, &threaded_both),
+    ] {
+        expect(
+            thr.cycles == seq.cycles && thr.output == seq.output,
+            name,
+            format!(
+                "threaded execution diverges from sequential: {:?} vs {:?}",
+                thr.cycles, seq.cycles
+            ),
+        );
+    }
 
     report.record("executed-reconciliation", diags);
+
+    // V020: every run — 4 sparsity modes x both engines — must check out
+    // exactly the arrays the shard graph predicts, and return them all.
+    // Sparsity elides compute *rounds*, never checkouts, so one static
+    // number covers the whole sweep.
+    let predicted = shard::ShardGraph::from_model(model).predicted_acquires();
+    let mut pool_diags = Vec::new();
+    for (name, r) in [
+        ("dense/seq", &dense),
+        ("skip_rows/seq", &skipping),
+        ("skip_inputs/seq", &dynamic),
+        ("skip_both/seq", &both),
+        ("dense/threaded", &threaded),
+        ("skip_rows/threaded", &threaded_rows),
+        ("skip_inputs/threaded", &threaded_inputs),
+        ("skip_both/threaded", &threaded_both),
+    ] {
+        pool_diags.extend(reconcile_pool_events(predicted, name, r.pool));
+    }
+    report.record("pool-reconciliation", pool_diags);
     Ok(report)
 }
 
@@ -376,6 +483,31 @@ mod tests {
     }
 
     #[test]
+    fn threaded_check_proves_the_shard_graph_clean() {
+        let config = SystemConfig::default();
+        let report = check_threaded_model(&config, &tiny_cnn(42));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks.iter().any(|c| c == "shard-graph"));
+        assert!(report
+            .stats
+            .iter()
+            .any(|(name, value)| name == "shard_predicted_acquires" && *value > 0));
+    }
+
+    #[test]
+    fn pool_reconciliation_flags_drifted_counters() {
+        let events = PoolEvents {
+            acquires: 10,
+            releases: 9,
+        };
+        let diags = reconcile_pool_events(12, "dense/seq", events);
+        assert_eq!(diags.len(), 2);
+        assert!(diags
+            .iter()
+            .all(|d| d.code == ErrorCode::ExecutedPoolMismatch));
+    }
+
+    #[test]
     fn executed_tiny_cnn_reconciles() {
         let config = SystemConfig::default();
         let model = tiny_cnn(42);
@@ -383,6 +515,8 @@ mod tests {
         let report = check_executed_model(&config, &model, &input).unwrap();
         assert!(report.is_clean(), "{report}");
         assert!(report.checks.iter().any(|c| c == "executed-reconciliation"));
+        assert!(report.checks.iter().any(|c| c == "pool-reconciliation"));
+        assert!(report.checks.iter().any(|c| c == "shard-graph"));
     }
 
     #[test]

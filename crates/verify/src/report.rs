@@ -15,6 +15,9 @@ pub struct VerifyReport {
     pub checks: Vec<String>,
     /// Every diagnostic, in discovery order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Named scalar measurements (e.g. the shard-graph's epoch/shard/
+    /// checkout counts), serialized into the CI artifact.
+    pub stats: Vec<(String, u64)>,
 }
 
 impl VerifyReport {
@@ -25,6 +28,7 @@ impl VerifyReport {
             subject: subject.into(),
             checks: Vec::new(),
             diagnostics: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -32,6 +36,11 @@ impl VerifyReport {
     pub fn record(&mut self, check: impl Into<String>, diags: Vec<Diagnostic>) {
         self.checks.push(check.into());
         self.diagnostics.extend(diags);
+    }
+
+    /// Records one named scalar measurement for the CI artifact.
+    pub fn stat(&mut self, name: impl Into<String>, value: u64) {
+        self.stats.push((name.into(), value));
     }
 
     /// True when no check produced a diagnostic.
@@ -49,11 +58,17 @@ impl VerifyReport {
             .map(|c| format!("\"{}\"", escape_json(c)))
             .collect();
         let diags: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        let stats: Vec<String> = self
+            .stats
+            .iter()
+            .map(|(name, value)| format!(r#""{}":{value}"#, escape_json(name)))
+            .collect();
         format!(
-            r#"{{"subject":"{}","clean":{},"checks":[{}],"diagnostics":[{}]}}"#,
+            r#"{{"subject":"{}","clean":{},"checks":[{}],"stats":{{{}}},"diagnostics":[{}]}}"#,
             escape_json(&self.subject),
             self.is_clean(),
             checks.join(","),
+            stats.join(","),
             diags.join(",")
         )
     }
@@ -95,9 +110,11 @@ mod tests {
         );
         assert!(!r.is_clean());
         let json = r.to_json();
+        r.stat("shard_epochs", 9);
         assert!(json.contains(r#""subject":"tiny_cnn""#));
         assert!(json.contains(r#""clean":false"#));
         assert!(json.contains("V001"));
+        assert!(r.to_json().contains(r#""stats":{"shard_epochs":9}"#));
         assert!(r.to_string().contains("2 check(s)"));
     }
 }

@@ -1,0 +1,212 @@
+//! Property-based race injection into the shard graph: start from a
+//! provably clean graph built from a real workload, mutate it the way a
+//! broken scheduler/pool would, and assert the happens-before checker
+//! flags each injected hazard with exactly the matching V013–V020 code —
+//! and stays silent on the clean original (no false positives).
+
+use nc_dnn::workload::{pruned_conv_model, relu_sparse_conv_model, tiny_cnn};
+use nc_verify::diag::ErrorCode;
+use nc_verify::hb::check_graph;
+use nc_verify::shard::{LayoutSpec, PoolUse, ShardGraph};
+use neural_cache::functional::PoolEvents;
+use proptest::prelude::*;
+
+/// The clean shard graphs the injections mutate (small enough to rebuild
+/// per proptest case, rich enough to carry every epoch kind).
+fn graph(pick: usize, seed: u64) -> ShardGraph {
+    match pick % 3 {
+        0 => ShardGraph::from_model(&tiny_cnn(seed)),
+        1 => ShardGraph::from_model(&pruned_conv_model(seed)),
+        _ => ShardGraph::from_model(&relu_sparse_conv_model(seed)),
+    }
+}
+
+/// Picks an (epoch, shard) pair with at least one pool use, from an epoch
+/// with at least two shards (so a concurrent sibling exists to race with).
+fn pick_shard(g: &ShardGraph, pick: usize) -> (usize, usize) {
+    let mut pairs = Vec::new();
+    for (e, epoch) in g.epochs.iter().enumerate() {
+        if epoch.shards.len() < 2 {
+            continue;
+        }
+        for (s, shard) in epoch.shards.iter().enumerate() {
+            if !shard.uses.is_empty() {
+                pairs.push((e, s));
+            }
+        }
+    }
+    pairs[pick % pairs.len()]
+}
+
+/// A concurrent shard of the same epoch as `(e, s)`.
+fn sibling(g: &ShardGraph, e: usize, s: usize) -> usize {
+    (s + 1) % g.epochs[e].shards.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder's graphs are clean for every shipped small workload
+    /// and every weight seed — no false positives.
+    #[test]
+    fn clean_graphs_are_silent(pick in 0usize..3, seed in 0u64..1000) {
+        prop_assert_eq!(check_graph(&graph(pick, seed)), vec![]);
+    }
+
+    /// A mis-sharded job whose raw touch aliases a concurrent shard's
+    /// array with a writing layout is exactly V013.
+    #[test]
+    fn missharded_write_write_is_v013(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64) {
+        let mut g = graph(pick, seed);
+        let (e, s) = pick_shard(&g, shard_pick);
+        let victim = g.epochs[e].shards[s].uses[0];
+        let other = sibling(&g, e, s);
+        // Raw (unacquired) touch of the victim's array with the same
+        // writing layout — a shard computing into an array it never
+        // checked out.
+        g.epochs[e].shards[other].uses.push(PoolUse {
+            layout: victim.layout,
+            first_array: victim.first_array,
+            count: 1,
+            acquired: false,
+            released: false,
+        });
+        let diags = check_graph(&g);
+        prop_assert!(!diags.is_empty());
+        prop_assert!(diags.iter().all(|d| d.code == ErrorCode::ShardWriteWriteRace), "{diags:?}");
+    }
+
+    /// A raw touch whose layout only *reads* rows a concurrent shard
+    /// writes is exactly V014 (read/write, not write/write).
+    #[test]
+    fn missharded_read_write_is_v014(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64) {
+        let mut g = graph(pick, seed);
+        let (e, s) = pick_shard(&g, shard_pick);
+        let victim = g.epochs[e].shards[s].uses[0];
+        // A read-only lens over the victim layout's write rows.
+        let rows = g.layouts[victim.layout as usize].writes.clone();
+        g.layouts.push(LayoutSpec {
+            name: "injected_probe".to_string(),
+            reads: rows,
+            writes: Vec::new(),
+        });
+        let probe = (g.layouts.len() - 1) as u32;
+        let other = sibling(&g, e, s);
+        g.epochs[e].shards[other].uses.push(PoolUse {
+            layout: probe,
+            first_array: victim.first_array,
+            count: 1,
+            acquired: false,
+            released: false,
+        });
+        let diags = check_graph(&g);
+        prop_assert!(!diags.is_empty());
+        prop_assert!(diags.iter().all(|d| d.code == ErrorCode::ShardReadWriteRace), "{diags:?}");
+    }
+
+    /// Dropping the inter-array reduce barrier (the MAC → ranging join) is
+    /// exactly V015: the ranging epoch's cross-shard accumulator read
+    /// loses its domination. No phantom races appear — MAC and ranging
+    /// shards hold disjoint checkouts.
+    #[test]
+    fn dropped_reduce_barrier_is_v015(pick in 0usize..3, seed in 0u64..100, barrier_pick in 0usize..16) {
+        let mut g = graph(pick, seed);
+        let barrier = g.reduce_barriers[barrier_pick % g.reduce_barriers.len()];
+        g.joins[barrier] = false;
+        let diags = check_graph(&g);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].code, ErrorCode::BarrierBypass);
+    }
+
+    /// A prematurely recycled pool array — two concurrent shards holding
+    /// the same checkout — is exactly V016, regardless of row layouts.
+    #[test]
+    fn premature_recycle_is_v016(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64) {
+        let mut g = graph(pick, seed);
+        let (e, s) = pick_shard(&g, shard_pick);
+        let stolen = g.epochs[e].shards[s].uses[0].first_array;
+        let other = sibling(&g, e, s);
+        g.epochs[e].shards[other].uses[0].first_array = stolen;
+        let diags = check_graph(&g);
+        prop_assert!(!diags.is_empty());
+        prop_assert!(diags.iter().all(|d| d.code == ErrorCode::PrematureRecycle), "{diags:?}");
+    }
+
+    /// A shard claiming the reserved way inside the batch pipeline's
+    /// dump-overlap window is exactly V017.
+    #[test]
+    fn reserved_way_claim_is_v017(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64) {
+        let mut g = graph(pick, seed);
+        let (e, s) = pick_shard(&g, shard_pick);
+        g.epochs[e].shards[s].reserved_way = true;
+        let diags = check_graph(&g);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].code, ErrorCode::DumpWindowRace);
+    }
+
+    /// Shifting one shard's output-slot slice breaks the exact partition
+    /// both ways (a hole where it was, an overlap where it lands) and is
+    /// exactly V018.
+    #[test]
+    fn shifted_write_slots_are_v018(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64, shift in 1u64..8) {
+        let mut g = graph(pick, seed);
+        let mut target = None;
+        'outer: for (e, epoch) in g.epochs.iter().enumerate() {
+            if epoch.out_slots.is_none() {
+                continue;
+            }
+            for (s, shard) in epoch.shards.iter().enumerate() {
+                if shard.write_slots.is_some() {
+                    target = Some((e, s));
+                    if s >= shard_pick % epoch.shards.len() {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (e, s) = target.expect("every workload has a slot-partitioned epoch");
+        let (lo, hi) = g.epochs[e].shards[s].write_slots.unwrap();
+        g.epochs[e].shards[s].write_slots = Some((lo + shift, hi + shift));
+        let diags = check_graph(&g);
+        prop_assert!(!diags.is_empty());
+        prop_assert!(diags.iter().all(|d| d.code == ErrorCode::ShardCoverageHole), "{diags:?}");
+    }
+
+    /// A checkout never returned (or a return without a checkout) is
+    /// exactly V019.
+    #[test]
+    fn unbalanced_pool_events_are_v019(pick in 0usize..3, seed in 0u64..100, shard_pick in 0usize..64, leak in any::<bool>()) {
+        let mut g = graph(pick, seed);
+        let (e, s) = pick_shard(&g, shard_pick);
+        let use_ = &mut g.epochs[e].shards[s].uses[0];
+        if leak {
+            use_.released = false; // leaked checkout
+        } else {
+            use_.acquired = false; // stray release
+        }
+        let diags = check_graph(&g);
+        prop_assert_eq!(diags.len(), 1, "{:?}", diags);
+        prop_assert_eq!(diags[0].code, ErrorCode::PoolEventImbalance);
+    }
+
+    /// Executed pool counters drifting from the graph's prediction (or
+    /// from each other) are exactly V020.
+    #[test]
+    fn drifted_pool_counters_are_v020(pick in 0usize..3, seed in 0u64..100, drift in 1u64..50, leak in 0u64..3) {
+        let g = graph(pick, seed);
+        let predicted = g.predicted_acquires();
+
+        // Matching counters: silent.
+        let clean = PoolEvents { acquires: predicted, releases: predicted };
+        prop_assert_eq!(nc_verify::reconcile_pool_events(predicted, "clean", clean), vec![]);
+
+        // Drifted checkout total and/or a leak: V020 only.
+        let events = PoolEvents {
+            acquires: predicted + drift,
+            releases: predicted + drift - leak,
+        };
+        let diags = nc_verify::reconcile_pool_events(predicted, "drifted", events);
+        prop_assert!(!diags.is_empty());
+        prop_assert!(diags.iter().all(|d| d.code == ErrorCode::ExecutedPoolMismatch), "{diags:?}");
+    }
+}

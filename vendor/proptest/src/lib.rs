@@ -243,7 +243,7 @@ mod tests {
         fn ranges_respect_bounds(x in 3usize..10, y in 0u64..=5, flag in any::<bool>()) {
             prop_assert!((3..10).contains(&x));
             prop_assert!(y <= 5);
-            prop_assert_eq!(flag as u8 <= 1, true);
+            prop_assert_eq!(u8::from(flag) <= 1, true);
         }
 
         #[test]

@@ -13,6 +13,10 @@
 //! registry; see the workspace README.
 
 #![warn(missing_docs)]
+// The `impl_sample_range_int` macro widens every integer type through
+// i128 with `as` casts on purpose (one arm serves signed and unsigned
+// alike); `From` is not implemented for all of them.
+#![allow(clippy::cast_lossless, clippy::must_use_candidate)]
 
 /// The core of a random number generator: raw integer output and byte fill.
 pub trait RngCore {
