@@ -4,12 +4,15 @@
 //! predicted-vs-executed skip cross-check, and the per-bank vs lockstep
 //! skip-variant spread), the activation-sparsity section (dense vs
 //! ReLU-sparse cycles under the dynamic input-bit skip modes and the
-//! detect-overhead break-even), and the `nc-serve` serving section
-//! (offered-load sweep, trace/policy matrix, latency percentiles), for CI
-//! to upload as a per-PR perf artifact.
+//! detect-overhead break-even), the `nc-serve` serving section
+//! (offered-load sweep, trace/policy matrix, latency percentiles), and the
+//! telemetry section (span↔counter reconciliation matrix, no-op-sink
+//! overhead, per-thread utilization), for CI to upload as a per-PR perf
+//! artifact.
 //!
 //! ```bash
-//! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json
+//! cargo run --release -p nc-bench --bin bench_json -- --threads 4 --out BENCH_functional.json \
+//!     --trace-out trace.json --telemetry-out TELEMETRY.json
 //! ```
 //!
 //! Exits non-zero if the threaded backend fails to reproduce the
@@ -18,14 +21,18 @@
 //! if the activation-sparsity gate fails (dynamic modes not bit-identical
 //! to dense, executed input-skip counters disagreeing with
 //! `sparsity::activation_profile`, or a ReLU-sparse model failing to show a
-//! net MAC-phase speedup after the 1-cycle/round detect charge), or if the
+//! net MAC-phase speedup after the 1-cycle/round detect charge), if the
 //! serving sanity gate fails (request conservation, latency monotone in
-//! offered load, goodput bounded by offered load, engine byte-identity),
-//! so the CI bench job doubles as a determinism gate.
+//! offered load, goodput bounded by offered load, engine byte-identity), or
+//! if the telemetry gate fails (span rollups not reconciling exactly with
+//! `CycleStats`/`LayerTiming`/`ServingTrace`, or the disabled sink
+//! regressing wall time beyond 5%), so the CI bench job doubles as a
+//! determinism gate.
 
 use std::process::ExitCode;
 
 use nc_bench::parse_flag;
+use nc_bench::telemetry::TelemetryFlags;
 
 fn main() -> ExitCode {
     let threads = nc_bench::threads_flag(4);
@@ -34,21 +41,35 @@ fn main() -> ExitCode {
     let reps: usize =
         parse_flag(&args, "--reps").map_or(3, |v| v.parse().expect("--reps takes an integer"));
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_functional.json".to_owned());
+    let tel_flags = TelemetryFlags::parse(&args);
 
     let comparisons = nc_bench::perf::compare_engines(threads, reps);
     let sparsity = nc_bench::perf::compare_sparsity(reps);
     let activation = nc_bench::perf::compare_activation_sparsity(reps);
     let serving = nc_bench::serving::run_serving_bench(threads);
+    let telemetry = if tel_flags.disabled {
+        None
+    } else {
+        Some(nc_bench::telemetry::run_telemetry_bench(threads, reps))
+    };
     let json = nc_bench::perf::render_json_all(
         &comparisons,
         &sparsity,
         &activation,
         Some(&serving),
+        telemetry.as_ref(),
         threads,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_functional.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
+    if tel_flags.wants_artifacts() {
+        let sink = tel_flags.sink();
+        nc_bench::telemetry::record_showcase(&sink, threads);
+        for path in tel_flags.write_artifacts(&sink) {
+            eprintln!("wrote {path}");
+        }
+    }
 
     let engines_ok = comparisons
         .iter()
@@ -60,6 +81,9 @@ fn main() -> ExitCode {
         .iter()
         .all(nc_bench::perf::ActivationComparison::verified);
     let serving_ok = serving.verified();
+    let telemetry_ok = telemetry
+        .as_ref()
+        .is_none_or(nc_bench::telemetry::TelemetryReport::verified);
     if !engines_ok {
         eprintln!("FAIL: threaded backend diverged from sequential");
     }
@@ -92,7 +116,15 @@ fn main() -> ExitCode {
             eprintln!("  - {f}");
         }
     }
-    if engines_ok && sparsity_ok && activation_ok && serving_ok {
+    if !telemetry_ok {
+        eprintln!("FAIL: telemetry reconciliation/overhead gate");
+        if let Some(report) = &telemetry {
+            for f in report.gate_failures() {
+                eprintln!("  - {f}");
+            }
+        }
+    }
+    if engines_ok && sparsity_ok && activation_ok && serving_ok && telemetry_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -76,6 +76,8 @@ fn main() -> ExitCode {
         }
     }
 
+    nc_bench::telemetry::emit_canary_artifacts();
+
     if failures == 0 {
         println!(
             "paper_check: all {} artifacts + sparsity cross-check verified",

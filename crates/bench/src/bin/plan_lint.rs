@@ -111,6 +111,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+    nc_bench::telemetry::emit_canary_artifacts();
 
     if dirty == 0 {
         println!(

@@ -2,9 +2,12 @@
 //!
 //! `--threads N` runs the simulators behind the artifacts on the threaded
 //! execution engine (N worker threads); the regenerated numbers are
-//! identical, only host wall-clock changes.
+//! identical, only host wall-clock changes. With `N >= 2` a per-thread
+//! utilization/imbalance summary of the threaded engine is appended.
+//! `--trace-out <path>` / `--telemetry-out <path>` additionally write the
+//! Perfetto-loadable timeline and the `TELEMETRY.json` rollup.
 fn main() {
-    nc_bench::threads_flag(1);
+    let threads = nc_bench::threads_flag(1);
     nc_bench::verify_prepass();
     for (title, text) in [
         ("== Table I ==", nc_bench::table1()),
@@ -26,4 +29,10 @@ fn main() {
         println!("{title}");
         println!("{text}");
     }
+    if threads >= 2 {
+        println!("== Thread utilization ==");
+        let util = nc_bench::telemetry::measure_utilization(threads);
+        println!("{}", nc_bench::telemetry::render_utilization_text(&util));
+    }
+    nc_bench::telemetry::emit_canary_artifacts();
 }

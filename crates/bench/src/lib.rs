@@ -34,6 +34,7 @@
 
 pub mod perf;
 pub mod serving;
+pub mod telemetry;
 
 use std::fmt::Write as _;
 use std::sync::{Once, OnceLock};
@@ -114,6 +115,7 @@ pub fn emit_artifact(render: fn() -> String) {
     threads_flag(1);
     verify_prepass();
     print!("{}", render());
+    telemetry::emit_canary_artifacts();
 }
 
 /// [`base_config`] with a scaled LLC capacity (Table IV points).

@@ -473,18 +473,20 @@ pub fn render_json_full(
     sparsity: &[SparsityComparison],
     threads: usize,
 ) -> String {
-    render_json_all(comparisons, sparsity, &[], None, threads)
+    render_json_all(comparisons, sparsity, &[], None, None, threads)
 }
 
 /// The full `BENCH_functional.json` document: engine comparisons, the
 /// weight-sparsity section, the activation-sparsity section, and (when
-/// given) the `nc-serve` serving section.
+/// given) the `nc-serve` serving section and the telemetry
+/// reconciliation/utilization section.
 #[must_use]
 pub fn render_json_all(
     comparisons: &[EngineComparison],
     sparsity: &[SparsityComparison],
     activation: &[ActivationComparison],
     serving: Option<&crate::serving::ServingBench>,
+    telemetry: Option<&crate::telemetry::TelemetryReport>,
     threads: usize,
 ) -> String {
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -505,7 +507,7 @@ pub fn render_json_all(
         let comma = if i + 1 < comparisons.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    if sparsity.is_empty() && activation.is_empty() && serving.is_none() {
+    if sparsity.is_empty() && activation.is_empty() && serving.is_none() && telemetry.is_none() {
         out.push_str("  ]\n}\n");
         return out;
     }
@@ -643,6 +645,10 @@ pub fn render_json_all(
         out.push_str(",\n");
         out.push_str(&crate::serving::render_json_section(bench));
     }
+    if let Some(report) = telemetry {
+        out.push_str(",\n");
+        out.push_str(&crate::telemetry::render_json_section(report));
+    }
     out.push_str("\n}\n");
     out
 }
@@ -744,7 +750,7 @@ mod tests {
         );
 
         let engines = compare_engines(2, 1);
-        let json = render_json_all(&engines, &[], &comps, None, 2);
+        let json = render_json_all(&engines, &[], &comps, None, None, 2);
         assert!(json.contains("\"activation_sparsity\": ["));
         assert!(json.contains("\"relu_sparse_conv\""));
         assert!(json.contains("\"dense_acts_break_even\""));

@@ -21,7 +21,89 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
+
+/// Wall-clock record of one executed shard job, taken by a
+/// [`ShardObserver`]: which job ran on which worker, when it started
+/// (seconds since the observer's epoch) and how long it took.
+///
+/// This is **host wall-clock** time — the one axis in the workspace that is
+/// *not* simulated — so it feeds utilization/imbalance reporting only and
+/// never participates in simulated-time reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSample {
+    /// Shard job index within its `run_observed` call.
+    pub job: usize,
+    /// Worker index that executed the job (0 on the sequential backend).
+    pub worker: usize,
+    /// Job start, in seconds since the observer was created.
+    pub start_s: f64,
+    /// Job wall-clock duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Collects per-shard wall-clock timings across one or more
+/// [`ExecutionEngine::run_observed`] calls, for thread-utilization and
+/// load-imbalance reports.
+///
+/// The observer is passive: engines record into it only when one is passed,
+/// so `run_observed(.., None)` stays exactly [`ExecutionEngine::run`].
+/// Recording takes a mutex per completed job — acceptable for reporting
+/// runs, which is why observation is opt-in rather than always-on.
+#[derive(Debug)]
+pub struct ShardObserver {
+    t0: Instant,
+    samples: Mutex<Vec<ShardSample>>,
+}
+
+impl Default for ShardObserver {
+    fn default() -> Self {
+        ShardObserver::new()
+    }
+}
+
+impl ShardObserver {
+    /// A fresh observer; its epoch (time zero) is now.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardObserver {
+            t0: Instant::now(),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, job: usize, worker: usize, started: Instant, finished: Instant) {
+        let sample = ShardSample {
+            job,
+            worker,
+            start_s: started.duration_since(self.t0).as_secs_f64(),
+            dur_s: finished.duration_since(started).as_secs_f64(),
+        };
+        self.samples
+            .lock()
+            .expect("shard observer poisoned")
+            .push(sample);
+    }
+
+    /// Seconds elapsed since the observer's epoch.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Drains and returns every sample recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the sample
+    /// lock (poisoned mutex).
+    #[must_use]
+    pub fn take_samples(&self) -> Vec<ShardSample> {
+        std::mem::take(&mut *self.samples.lock().expect("shard observer poisoned"))
+    }
+}
 
 /// How independent shard jobs are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -91,9 +173,42 @@ impl ExecutionEngine {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_observed(jobs, job, None)
+    }
+
+    /// [`ExecutionEngine::run`] with optional per-shard wall-clock
+    /// observation: when `observer` is `Some`, every executed job records a
+    /// [`ShardSample`] (job index, worker index, start, duration) into it.
+    /// With `observer == None` this *is* `run` — same scheduling, same
+    /// results, no timing overhead.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (the scoped workers are joined
+    /// before this returns).
+    pub fn run_observed<T, F>(
+        &self,
+        jobs: usize,
+        job: F,
+        observer: Option<&ShardObserver>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.threads().min(jobs);
         if workers <= 1 {
-            return (0..jobs).map(job).collect();
+            return (0..jobs)
+                .map(|i| match observer {
+                    None => job(i),
+                    Some(obs) => {
+                        let started = Instant::now();
+                        let out = job(i);
+                        obs.record(i, 0, started, Instant::now());
+                        out
+                    }
+                })
+                .collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -115,7 +230,15 @@ impl ExecutionEngine {
                                 break;
                             }
                             in_flight.store(i, Ordering::Release);
-                            local.push((i, job(i)));
+                            match observer {
+                                None => local.push((i, job(i))),
+                                Some(obs) => {
+                                    let started = Instant::now();
+                                    let out = job(i);
+                                    obs.record(i, w, started, Instant::now());
+                                    local.push((i, out));
+                                }
+                            }
                         }
                         in_flight.store(usize::MAX, Ordering::Release);
                         local
@@ -233,6 +356,28 @@ mod tests {
         );
         assert!(msg.contains("shard worker"), "message: {msg}");
         assert!(msg.contains("job blew up"), "cause preserved: {msg}");
+    }
+
+    #[test]
+    fn observer_records_every_job_once_on_both_backends() {
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::from_threads(4),
+        ] {
+            let obs = ShardObserver::new();
+            let out = engine.run_observed(50, |i| i * 2, Some(&obs));
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+            let mut samples = obs.take_samples();
+            assert_eq!(samples.len(), 50, "one sample per job");
+            samples.sort_unstable_by_key(|s| s.job);
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(s.job, i);
+                assert!(s.worker < engine.threads());
+                assert!(s.start_s >= 0.0 && s.dur_s >= 0.0);
+            }
+            assert!(obs.take_samples().is_empty(), "take drains");
+            assert!(obs.elapsed_s() >= 0.0);
+        }
     }
 
     #[test]

@@ -49,9 +49,10 @@ use nc_dnn::{
     Requantizer, Shape,
 };
 use nc_sram::ops::copy_lanes_between;
-use nc_sram::{ArrayPool, ComputeArray, CycleStats, SramError, COLS};
+use nc_sram::{ArrayPool, ArrayTimings, ComputeArray, CycleStats, SramError, COLS};
+use nc_telemetry::{Level, Telemetry, TrackId, Value};
 
-use crate::engine::ExecutionEngine;
+use crate::engine::{ExecutionEngine, ShardObserver};
 use crate::layout::{self, DUMP_ROW, ZERO_ROW};
 use crate::mapping::{chunk_filter, chunk_window_bytes, conv_lane_geometry};
 use crate::sparsity::SparsityMode;
@@ -181,19 +182,78 @@ pub fn run_model_configured(
     engine: ExecutionEngine,
     mode: SparsityMode,
 ) -> Result<FunctionalResult> {
+    run_model_traced(model, input, engine, mode, &Telemetry::disabled())
+}
+
+/// [`run_model_configured`] with a [`Telemetry`] sink attached. The run is
+/// observably identical to an untraced one (same outputs, records, cycles,
+/// pool events under every engine and sparsity mode); the sink additionally
+/// receives:
+///
+/// - one `functional.layer` span per top-level layer on the **simulated**
+///   time axis (cycles converted at [`ArrayTimings::default`]'s compute
+///   clock), carrying that layer's [`CycleStats`] delta as integer span
+///   arguments — summing any argument over the category reproduces the
+///   returned [`FunctionalResult::cycles`] field **exactly**;
+/// - at [`Level::Detail`], one `functional.op` span per in-cache pass
+///   (MAC+reduce, ranging, requantize, code-requant, pooling), likewise
+///   carrying exact [`CycleStats`] deltas that partition the run's totals;
+/// - `functional.pool.acquires` / `functional.pool.releases` counters
+///   matching [`FunctionalResult::pool`];
+/// - on a parallel engine, wall-clock shard observation: the
+///   `engine.shard_seconds` histogram, per-worker `engine.worker.N.busy_s`
+///   gauges / `engine.worker.N.shards` counters, and `engine.wall_s` /
+///   `engine.workers` / `engine.utilization` gauges for
+///   utilization-imbalance reporting (host time, never reconciled against
+///   simulated time).
+///
+/// A disabled sink records nothing and costs one branch per call site, so
+/// this is also the implementation behind the untraced entry points.
+///
+/// # Errors
+///
+/// Fails if any convolution sub-layer lacks weights.
+///
+/// # Panics
+///
+/// Panics if the input shape does not match the model's input shape.
+pub fn run_model_traced(
+    model: &Model,
+    input: &QTensor,
+    engine: ExecutionEngine,
+    mode: SparsityMode,
+    tel: &Telemetry,
+) -> Result<FunctionalResult> {
     assert_eq!(input.shape(), model.input_shape, "input shape mismatch");
-    let mut exec = Exec::new(engine, mode)?;
+    let mut exec = Exec::new(engine, mode, tel.clone())?;
+    let timings = ArrayTimings::default();
     let mut cur = input.clone();
     let mut sublayers = Vec::new();
     for layer in &model.layers {
+        let before = exec.cycles;
         let out = exec.run_layer(layer, &cur, &mut sublayers)?;
         cur = out;
+        if tel.at(Level::Spans) {
+            let start_s = before.seconds(&timings);
+            let dur_s = exec.cycles.seconds(&timings) - start_s;
+            tel.span(
+                exec.layer_track,
+                "functional.layer",
+                layer.name(),
+                start_s,
+                dur_s,
+                cycle_args(exec.cycles - before),
+            );
+        }
     }
     let stats = exec.pool.stats();
     debug_assert_eq!(
         stats.acquires, stats.releases,
         "every shard job must return its arrays before the run completes"
     );
+    tel.counter_add("functional.pool.acquires", stats.acquires);
+    tel.counter_add("functional.pool.releases", stats.releases);
+    exec.report_utilization();
     Ok(FunctionalResult {
         output: cur,
         sublayers,
@@ -205,6 +265,24 @@ pub fn run_model_configured(
     })
 }
 
+/// A [`CycleStats`] delta rendered as exact integer span arguments, one per
+/// public counter field (names match the field names, so reconciliation
+/// code reads symmetrically on both sides).
+fn cycle_args(delta: CycleStats) -> Vec<(&'static str, Value)> {
+    vec![
+        ("compute_cycles", Value::U64(delta.compute_cycles)),
+        ("access_cycles", Value::U64(delta.access_cycles)),
+        ("mul_rounds", Value::U64(delta.mul_rounds)),
+        ("skipped_rounds", Value::U64(delta.skipped_rounds)),
+        ("skipped_cycles", Value::U64(delta.skipped_cycles)),
+        ("detect_cycles", Value::U64(delta.detect_cycles)),
+        (
+            "input_rounds_skipped",
+            Value::U64(delta.input_rounds_skipped),
+        ),
+    ]
+}
+
 struct Exec {
     cycles: CycleStats,
     engine: ExecutionEngine,
@@ -213,6 +291,14 @@ struct Exec {
     /// instead of being reallocated per run (in hardware they are the same
     /// physical SRAM throughout).
     pool: ArrayPool,
+    /// Telemetry sink (the free no-op handle on untraced runs).
+    tel: Telemetry,
+    /// Simulated-time track for `functional.layer` spans.
+    layer_track: TrackId,
+    /// Simulated-time track for `functional.op` spans.
+    op_track: TrackId,
+    /// Wall-clock shard observation, only on traced parallel runs.
+    observer: Option<ShardObserver>,
 }
 
 /// A branch's final output awaiting the block-shared range.
@@ -237,7 +323,7 @@ impl AccChunk {
 }
 
 impl Exec {
-    fn new(engine: ExecutionEngine, mode: SparsityMode) -> Result<Self> {
+    fn new(engine: ExecutionEngine, mode: SparsityMode, tel: Telemetry) -> Result<Self> {
         // Debug-mode pre-pass: prove every shard-job row layout hazard-free
         // before the first array is touched (`nc-verify` runs the same
         // descriptors statically with structured diagnostics).
@@ -246,12 +332,73 @@ impl Exec {
             let hazards = layout::validate_plan();
             assert!(hazards.is_empty(), "executor plan hazards: {hazards:?}");
         }
+        let observer = (tel.is_enabled() && engine.is_parallel()).then(ShardObserver::new);
+        let layer_track = tel.track("functional", "layers");
+        let op_track = tel.track("functional", "ops");
         Ok(Exec {
             cycles: CycleStats::new(),
             engine,
             mode,
             pool: ArrayPool::with_zero_row(ZERO_ROW)?,
+            tel,
+            layer_track,
+            op_track,
+            observer,
         })
+    }
+
+    /// Emits a [`Level::Detail`] `functional.op` span covering the cycles
+    /// accumulated since `before` (the in-cache pass that just folded). Op
+    /// spans partition the run's cycle totals: every fold site emits
+    /// exactly one per [`ExecutionEngine`] dispatch it folds, so summing a
+    /// cycle argument over the category reproduces the run total exactly.
+    fn op_span(&self, name: &str, before: CycleStats) {
+        if !self.tel.at(Level::Detail) {
+            return;
+        }
+        let timings = ArrayTimings::default();
+        let start_s = before.seconds(&timings);
+        let dur_s = self.cycles.seconds(&timings) - start_s;
+        self.tel.span(
+            self.op_track,
+            "functional.op",
+            name,
+            start_s,
+            dur_s,
+            cycle_args(self.cycles - before),
+        );
+    }
+
+    /// Folds wall-clock shard samples into the metrics registry (traced
+    /// parallel runs only): per-worker busy seconds and shard counts, the
+    /// shard-duration histogram, and run-wide wall/utilization gauges.
+    fn report_utilization(&self) {
+        let Some(obs) = &self.observer else { return };
+        let wall_s = obs.elapsed_s();
+        let samples = obs.take_samples();
+        let workers = self.engine.threads();
+        let mut busy = vec![0.0f64; workers];
+        let mut shards = vec![0u64; workers];
+        for s in &samples {
+            busy[s.worker] += s.dur_s;
+            shards[s.worker] += 1;
+            self.tel.histogram_record("engine.shard_seconds", s.dur_s);
+        }
+        self.tel.gauge_set("engine.wall_s", wall_s);
+        self.tel.gauge_set("engine.workers", workers as f64);
+        let busy_total: f64 = busy.iter().sum();
+        let utilization = if wall_s > 0.0 {
+            busy_total / (wall_s * workers as f64)
+        } else {
+            0.0
+        };
+        self.tel.gauge_set("engine.utilization", utilization);
+        for w in 0..workers {
+            self.tel
+                .gauge_set(&format!("engine.worker.{w}.busy_s"), busy[w]);
+            self.tel
+                .counter_add(&format!("engine.worker.{w}.shards"), shards[w]);
+        }
     }
 
     fn run_layer(
@@ -466,36 +613,42 @@ impl Exec {
         let c0 = &c0;
         #[cfg(debug_assertions)]
         let acquires_before = self.pool.stats().acquires;
-        let shards = engine.run(positions, |pos| -> Result<(Vec<i64>, CycleStats)> {
-            let (ey, ex) = (pos / out_shape.w, pos % out_shape.w);
-            let mut cycles = CycleStats::new();
-            let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
-            gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
-            let input_lanes = chunk_window_bytes(&window_bytes, spec.c, &geom);
+        let op_before = self.cycles;
+        let observer = self.observer.as_ref();
+        let shards = engine.run_observed(
+            positions,
+            |pos| -> Result<(Vec<i64>, CycleStats)> {
+                let (ey, ex) = (pos / out_shape.w, pos % out_shape.w);
+                let mut cycles = CycleStats::new();
+                let mut window_bytes = vec![0u8; spec.r * spec.s * spec.c];
+                gather_window(input, spec, ey, ex, pad_y, pad_x, &mut window_bytes);
+                let input_lanes = chunk_window_bytes(&window_bytes, spec.c, &geom);
 
-            let mut vals = vec![0i64; spec.m];
-            let mut m = 0;
-            while m < spec.m {
-                let group_count = groups_per_array.min(spec.m - m);
-                let (s1s, s2s) = mac_reduce_run(
-                    pool,
-                    &mut cycles,
-                    &filter_lanes[m..m + group_count],
-                    &input_lanes,
-                    geom.eff_window,
-                    group_span,
-                    arrays_per_filter,
-                    mode,
-                )?;
-                for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
-                    // Pass 2: ACC assembly + fused ReLU, in-cache.
-                    vals[m + g] =
-                        assemble_acc(pool, &mut cycles, *s1, *s2, zp_w, c0[m + g], spec.relu)?;
+                let mut vals = vec![0i64; spec.m];
+                let mut m = 0;
+                while m < spec.m {
+                    let group_count = groups_per_array.min(spec.m - m);
+                    let (s1s, s2s) = mac_reduce_run(
+                        pool,
+                        &mut cycles,
+                        &filter_lanes[m..m + group_count],
+                        &input_lanes,
+                        geom.eff_window,
+                        group_span,
+                        arrays_per_filter,
+                        mode,
+                    )?;
+                    for (g, (s1, s2)) in s1s.iter().zip(&s2s).enumerate() {
+                        // Pass 2: ACC assembly + fused ReLU, in-cache.
+                        vals[m + g] =
+                            assemble_acc(pool, &mut cycles, *s1, *s2, zp_w, c0[m + g], spec.relu)?;
+                    }
+                    m += group_count;
                 }
-                m += group_count;
-            }
-            Ok((vals, cycles))
-        });
+                Ok((vals, cycles))
+            },
+            observer,
+        );
 
         let mut acc_values = vec![0i64; out_shape.len()];
         for (pos, shard) in shards.into_iter().enumerate() {
@@ -506,6 +659,7 @@ impl Exec {
                 acc_values[out_shape.index(ey, ex, m)] = v;
             }
         }
+        self.op_span("mac-reduce", op_before);
 
         // Inter-array reduce barrier — dynamic ranging (Section IV-D) needs
         // every shard's accumulators: per-array min/max trees, combined
@@ -553,8 +707,11 @@ impl Exec {
     fn min_max_in_cache(&mut self, values: &[i64]) -> Result<(i64, i64)> {
         let engine = self.engine;
         let pool = &self.pool;
+        let before = self.cycles;
+        let observer = self.observer.as_ref();
         let chunks: Vec<&[i64]> = values.chunks(COLS).collect();
-        let shards = engine.run(chunks.len(), |i| min_max_chunk(pool, chunks[i]));
+        let shards =
+            engine.run_observed(chunks.len(), |i| min_max_chunk(pool, chunks[i]), observer);
 
         let mut min = i64::MAX;
         let mut max = i64::MIN;
@@ -564,6 +721,7 @@ impl Exec {
             min = min.min(lo);
             max = max.max(hi);
         }
+        self.op_span("ranging", before);
         Ok((min, max))
     }
 
@@ -582,8 +740,14 @@ impl Exec {
     ) -> Result<QTensor> {
         let engine = self.engine;
         let pool = &self.pool;
+        let before = self.cycles;
+        let observer = self.observer.as_ref();
         let chunks: Vec<&[i64]> = acc.values.chunks(COLS).collect();
-        let shards = engine.run(chunks.len(), |i| requant_chunk(pool, chunks[i], requant));
+        let shards = engine.run_observed(
+            chunks.len(),
+            |i| requant_chunk(pool, chunks[i], requant),
+            observer,
+        );
 
         let mut out = Vec::with_capacity(acc.values.len());
         for shard in shards {
@@ -591,6 +755,7 @@ impl Exec {
             self.cycles += cycles;
             out.extend_from_slice(&bytes);
         }
+        self.op_span("requantize", before);
         Ok(QTensor::from_vec(acc.shape, out_quant, out))
     }
 
@@ -605,8 +770,14 @@ impl Exec {
     ) -> Result<QTensor> {
         let engine = self.engine;
         let pool = &self.pool;
+        let before = self.cycles;
+        let observer = self.observer.as_ref();
         let chunks: Vec<&[u8]> = t.data().chunks(COLS).collect();
-        let shards = engine.run(chunks.len(), |i| code_requant_chunk(pool, chunks[i], map));
+        let shards = engine.run_observed(
+            chunks.len(),
+            |i| code_requant_chunk(pool, chunks[i], map),
+            observer,
+        );
 
         let mut out = Vec::with_capacity(t.data().len());
         for shard in shards {
@@ -614,6 +785,7 @@ impl Exec {
             self.cycles += cycles;
             out.extend_from_slice(&bytes);
         }
+        self.op_span("code-requant", before);
         Ok(QTensor::from_vec(t.shape(), out_quant, out))
     }
 
@@ -658,12 +830,18 @@ impl Exec {
         let max_window = windows.iter().map(Vec::len).max().unwrap_or(0);
         let engine = self.engine;
         let shared_pool = &self.pool;
+        let before = self.cycles;
+        let observer = self.observer.as_ref();
         let chunks: Vec<&[Vec<u8>]> = windows.chunks(COLS).collect();
         let kind = pool.kind;
-        let shards = engine.run(chunks.len(), |i| match kind {
-            PoolKind::Max => pool_max_chunk(shared_pool, chunks[i], max_window),
-            PoolKind::Avg => pool_avg_chunk(shared_pool, chunks[i], max_window),
-        });
+        let shards = engine.run_observed(
+            chunks.len(),
+            |i| match kind {
+                PoolKind::Max => pool_max_chunk(shared_pool, chunks[i], max_window),
+                PoolKind::Avg => pool_avg_chunk(shared_pool, chunks[i], max_window),
+            },
+            observer,
+        );
 
         let mut out = Vec::with_capacity(total);
         for shard in shards {
@@ -671,6 +849,13 @@ impl Exec {
             self.cycles += cycles;
             out.extend_from_slice(&bytes);
         }
+        self.op_span(
+            match kind {
+                PoolKind::Max => "pool-max",
+                PoolKind::Avg => "pool-avg",
+            },
+            before,
+        );
         Ok(QTensor::from_vec(out_shape, input.params(), out))
     }
 }
@@ -1282,6 +1467,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_run_is_identical_and_rollups_reconcile_exactly() {
+        let model = tiny_cnn(5);
+        let input = random_input(model.input_shape, model.input_quant, 50);
+        let plain = run_model(&model, &input).expect("plain run");
+        let tel = Telemetry::enabled(Level::Detail);
+        let traced = run_model_traced(
+            &model,
+            &input,
+            ExecutionEngine::from_threads(4),
+            SparsityMode::SkipZeroRows,
+            &tel,
+        )
+        .expect("traced run");
+        // The trace must be a pure observer: same outputs, records, cycles.
+        assert_eq!(traced.output.data(), plain.output.data());
+        assert_eq!(traced.sublayers, plain.sublayers);
+        assert_eq!(traced.pool, plain.pool);
+        // One layer span per top-level layer; both the layer and the op
+        // rollups reproduce every cycle counter of the run exactly.
+        assert_eq!(tel.span_count("functional.layer"), model.layers.len());
+        assert!(tel.span_count("functional.op") >= model.layers.len());
+        for (arg, want) in [
+            ("compute_cycles", traced.cycles.compute_cycles),
+            ("access_cycles", traced.cycles.access_cycles),
+            ("mul_rounds", traced.cycles.mul_rounds),
+            ("skipped_rounds", traced.cycles.skipped_rounds),
+            ("skipped_cycles", traced.cycles.skipped_cycles),
+            ("detect_cycles", traced.cycles.detect_cycles),
+            ("input_rounds_skipped", traced.cycles.input_rounds_skipped),
+        ] {
+            assert_eq!(tel.sum_u64_arg("functional.layer", arg), want, "{arg}");
+            assert_eq!(tel.sum_u64_arg("functional.op", arg), want, "{arg}");
+        }
+        assert!(traced.cycles.skipped_rounds > 0 || traced.cycles.skipped_cycles == 0);
+        // Pool counters mirror the returned pool events.
+        assert_eq!(
+            tel.counter("functional.pool.acquires"),
+            traced.pool.acquires
+        );
+        assert_eq!(
+            tel.counter("functional.pool.releases"),
+            traced.pool.releases
+        );
+        // A parallel traced run records wall-clock shard utilization.
+        assert!(tel.gauge("engine.wall_s").is_some());
+        assert_eq!(tel.gauge("engine.workers"), Some(4.0));
+        let h = tel.histogram("engine.shard_seconds").expect("shard hist");
+        assert!(h.count() > 0);
+        let spans_before = tel.total_spans();
+
+        // A Summary-level sink keeps metrics but drops spans.
+        let summary = Telemetry::enabled(Level::Summary);
+        let again = run_model_traced(
+            &model,
+            &input,
+            ExecutionEngine::Sequential,
+            SparsityMode::SkipZeroRows,
+            &summary,
+        )
+        .expect("summary run");
+        assert_eq!(again.cycles, traced.cycles);
+        assert_eq!(summary.total_spans(), 0);
+        assert_eq!(
+            summary.counter("functional.pool.acquires"),
+            traced.pool.acquires
+        );
+        // The original sink was untouched by the second run.
+        assert_eq!(tel.total_spans(), spans_before);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   shared with the `nc-verify` static plan checker;
 //! - [`functional`]: the bit-accurate executor that runs layers on real
 //!   [`nc_sram::ComputeArray`]s and must match the [`nc_dnn::reference`]
-//!   golden model bit-for-bit.
+//!   golden model bit-for-bit;
+//! - [`trace`]: exports timing reports onto [`nc_telemetry`] timelines
+//!   (Perfetto-loadable via the `nc-bench` exporters), reconciling
+//!   bit-exactly with the reports they mirror.
 //!
 //! # Quickstart
 //!
@@ -66,6 +69,7 @@ pub mod layout;
 pub mod mapping;
 pub mod sparsity;
 pub mod timing;
+pub mod trace;
 
 pub use batching::{
     serve_requests, throughput_sweep, time_batch, BatchCostModel, BatchReport, ServingReport,
@@ -73,7 +77,7 @@ pub use batching::{
 pub use config::SystemConfig;
 pub use cost::{CostModel, CostModelKind, DerivedCostModel, PaperCostModel};
 pub use energy::{energy_of, EnergyReport};
-pub use engine::ExecutionEngine;
+pub use engine::{ExecutionEngine, ShardObserver, ShardSample};
 pub use mapping::{
     plan_model, plan_model_with, ConvMapping, LaneGeometry, LayerPlan, PoolMapping, UnitPlan,
 };
@@ -82,6 +86,7 @@ pub use timing::{
     time_inference, time_inference_with_profile, InferenceReport, LayerTiming, Phase,
     PhaseBreakdown,
 };
+pub use trace::trace_inference_report;
 
 /// The Neural Cache system: a configured accelerator exposing the timing,
 /// energy, batching and functional execution entry points.

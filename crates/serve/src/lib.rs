@@ -63,6 +63,7 @@ pub mod trace;
 pub use batcher::{BatchDecision, BatchPolicy};
 pub use metrics::{percentile, Completion, MetricsCollector, ServingSummary};
 pub use sim::{
-    simulate, simulate_with_cost, ServeConfig, ServingOutcome, ServingTrace, TraceEvent,
+    simulate, simulate_traced, simulate_with_cost, ServeConfig, ServingOutcome, ServingTrace,
+    TraceEvent,
 };
 pub use trace::{ArrivalProcess, Request, TraceConfig, TraceKind};

@@ -4,6 +4,7 @@
 
 use nc_dnn::workload::TrafficClass;
 use nc_geometry::SimTime;
+use nc_telemetry::TimeWeightedHistogram;
 
 use crate::sim::ServeConfig;
 use crate::trace::{Request, TraceConfig};
@@ -55,6 +56,12 @@ pub struct ServingSummary {
     pub mean_queue_depth: f64,
     /// Peak admission-queue depth.
     pub max_queue_depth: usize,
+    /// Time-weighted admission-queue depth distribution: every constant-
+    /// depth span contributes its depth weighted by its duration, so the
+    /// histogram's weighted mean over the makespan reproduces
+    /// [`ServingSummary::mean_queue_depth`] bit-for-bit (the weighted sum
+    /// is the same fold, in the same order, as the depth integral).
+    pub queue_depth_hist: TimeWeightedHistogram,
     /// Batches dispatched.
     pub batches: usize,
     /// Mean dispatched batch size.
@@ -92,6 +99,7 @@ pub struct MetricsCollector {
     slo_violations: usize,
     last_arrival: SimTime,
     depth_integral: f64,
+    depth_hist: TimeWeightedHistogram,
     max_queue_depth: usize,
     batches: usize,
     batched_requests: usize,
@@ -111,6 +119,7 @@ impl MetricsCollector {
             slo_violations: 0,
             last_arrival: SimTime::ZERO,
             depth_integral: 0.0,
+            depth_hist: TimeWeightedHistogram::new(),
             max_queue_depth: 0,
             batches: 0,
             batched_requests: 0,
@@ -163,8 +172,14 @@ impl MetricsCollector {
     }
 
     /// Accumulates the queue-depth integral over a span at constant depth.
+    ///
+    /// The same `(depth, span)` sample feeds both the scalar integral and
+    /// the time-weighted histogram — identical product, identical addition
+    /// order — which is what keeps the histogram's weighted sum equal to
+    /// the integral bit-for-bit rather than merely close.
     pub fn observe_queue_depth(&mut self, depth: usize, span: SimTime) {
         self.depth_integral += depth as f64 * span.as_secs_f64();
+        self.depth_hist.observe(depth as f64, span.as_secs_f64());
         self.max_queue_depth = self.max_queue_depth.max(depth);
     }
 
@@ -180,6 +195,11 @@ impl MetricsCollector {
         pending: usize,
         slice_busy: &[SimTime],
     ) -> ServingSummary {
+        debug_assert_eq!(
+            self.depth_hist.weighted_sum(),
+            self.depth_integral,
+            "histogram weighted sum must reproduce the depth integral bit-for-bit"
+        );
         let completed = self.latencies_ms.len();
         let mut sorted = self.latencies_ms;
         sorted.sort_by(f64::total_cmp);
@@ -226,6 +246,7 @@ impl MetricsCollector {
                 0.0
             },
             max_queue_depth: self.max_queue_depth,
+            queue_depth_hist: self.depth_hist,
             batches: self.batches,
             mean_batch: if self.batches == 0 {
                 0.0
@@ -368,6 +389,44 @@ mod tests {
         assert!((s.mean_batch - 6.0).abs() < 1e-12);
         assert!((s.slice_utilization[0] - 0.5).abs() < 1e-12);
         assert!(s.goodput_bounded());
+    }
+
+    #[test]
+    fn queue_depth_histogram_reconciles_with_the_integral_mean() {
+        // Satellite regression: the time-weighted histogram must reproduce
+        // the pre-existing scalar integral exactly — weighted samples, not
+        // point samples, and the identical fold order.
+        let config = ServeConfig::default_two_slice();
+        let trace = TraceConfig::poisson(100.0, 10, 1);
+        let mut m = MetricsCollector::new(&config, &trace);
+        let samples = [
+            (4usize, SimTime::from_millis(370.0)),
+            (0, SimTime::from_secs(1.1)),
+            (2, SimTime::from_millis(10.0)),
+            (7, SimTime::from_millis(3.0)),
+            (4, SimTime::from_secs(2.0)),
+        ];
+        let mut integral = 0.0f64;
+        for (depth, span) in samples {
+            m.observe_queue_depth(depth, span);
+            integral += depth as f64 * span.as_secs_f64();
+        }
+        let makespan = SimTime::from_secs(5.0);
+        let s = m.finish(makespan, 0, &[]);
+        let h = &s.queue_depth_hist;
+        // Bit-exact, not approximate: same products, same addition order.
+        assert_eq!(h.weighted_sum(), integral);
+        assert_eq!(h.weighted_mean(s.makespan_s), s.mean_queue_depth);
+        assert_eq!(h.observations(), samples.len() as u64);
+        assert_eq!(
+            h.total_weight(),
+            samples.iter().map(|(_, w)| w.as_secs_f64()).sum::<f64>()
+        );
+        assert_eq!(h.max_value(), 7.0);
+        assert_eq!(s.max_queue_depth, 7);
+        // The zero-depth span carries weight but no depth: it dilutes the
+        // mean (a point-sample histogram would miss this entirely).
+        assert!(s.mean_queue_depth < 4.0 / 5.0 * 4.0);
     }
 
     #[test]

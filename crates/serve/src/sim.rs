@@ -13,6 +13,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use nc_geometry::SimTime;
+use nc_telemetry::{Level, Telemetry, Value};
 use neural_cache::{BatchCostModel, SystemConfig};
 
 use crate::batcher::{BatchDecision, BatchPolicy};
@@ -200,6 +201,7 @@ struct SliceState {
     busy: bool,
     cold: bool,
     busy_time: SimTime,
+    dispatched_at: SimTime,
     inflight: Vec<Request>,
 }
 
@@ -247,8 +249,42 @@ pub fn simulate_with_cost(
     cost: &BatchCostModel,
     trace_config: &TraceConfig,
 ) -> ServingOutcome {
+    simulate_traced(config, cost, trace_config, &Telemetry::disabled())
+}
+
+/// [`simulate_with_cost`] with a telemetry sink attached: the simulation
+/// itself is **identical** (same trajectory, same summary, byte-identical
+/// [`ServingTrace`]) — the sink only observes it.
+///
+/// At [`Level::Spans`] and above, every [`TraceEvent`] the log records is
+/// mirrored by **exactly one** telemetry record in category
+/// `serving.event` — `arrive`/`drop` instants on the queue track,
+/// `dispatch` instants and a `batch` span (dispatch → completion) on the
+/// owning slice's track — so `record_count("serving.event")` equals
+/// `trace.events.len()` exactly. At [`Level::Detail`] each dispatched
+/// request additionally gets a `serving.request`/`queue-wait` span
+/// (arrival → dispatch). Counters (`serving.arrivals` / `.drops` /
+/// `.dispatches` / `.completions`), the `serving.batch_size` histogram and
+/// end-of-run summary gauges are recorded at every enabled level.
+///
+/// # Panics
+///
+/// Panics on a zero-slice or zero-capacity configuration, or an empty
+/// trace.
+#[must_use]
+pub fn simulate_traced(
+    config: &ServeConfig,
+    cost: &BatchCostModel,
+    trace_config: &TraceConfig,
+    tel: &Telemetry,
+) -> ServingOutcome {
     assert!(config.slices > 0, "need at least one slice");
     assert!(config.queue_capacity > 0, "queue capacity must be positive");
+    let spans_on = tel.at(Level::Spans);
+    let queue_track = tel.track("serving", "queue");
+    let slice_tracks: Vec<_> = (0..config.slices)
+        .map(|i| tel.track("serving", &format!("slice {i}")))
+        .collect();
     let (mut source, initial) = ArrivalProcess::new(trace_config);
 
     let classes = trace_config.mix.len();
@@ -280,6 +316,7 @@ pub fn simulate_with_cost(
             busy: false,
             cold: true,
             busy_time: SimTime::ZERO,
+            dispatched_at: SimTime::ZERO,
             inflight: Vec::new(),
         })
         .collect();
@@ -310,9 +347,32 @@ pub fn simulate_with_cost(
                     id: r.id,
                     class: r.class,
                 });
+                if spans_on {
+                    tel.instant(
+                        queue_track,
+                        "serving.event",
+                        "arrive",
+                        now.as_secs_f64(),
+                        vec![
+                            ("id", Value::U64(r.id)),
+                            ("class", Value::U64(u64::from(r.class))),
+                        ],
+                    );
+                }
+                tel.counter_add("serving.arrivals", 1);
                 if queued_total >= config.queue_capacity {
                     metrics.on_drop(&r);
                     log.events.push(TraceEvent::Drop { t: now, id: r.id });
+                    if spans_on {
+                        tel.instant(
+                            queue_track,
+                            "serving.event",
+                            "drop",
+                            now.as_secs_f64(),
+                            vec![("id", Value::U64(r.id))],
+                        );
+                    }
+                    tel.counter_add("serving.drops", 1);
                     // A dropped closed-loop request still frees its client.
                     if let Some(next) = source.on_completion(now) {
                         arrivals_outstanding += 1;
@@ -335,6 +395,23 @@ pub fn simulate_with_cost(
                 let batch = std::mem::take(&mut s.inflight);
                 let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
                 log.events.push(TraceEvent::Complete { t: now, slice, ids });
+                if spans_on {
+                    // The batch's residency on its slice, dispatch to
+                    // completion: in simulated time its duration is exactly
+                    // the priced service time (`busy_until - dispatched_at`).
+                    tel.span(
+                        slice_tracks[slice],
+                        "serving.event",
+                        "batch",
+                        s.dispatched_at.as_secs_f64(),
+                        (now - s.dispatched_at).as_secs_f64(),
+                        vec![
+                            ("slice", Value::U64(slice as u64)),
+                            ("n", Value::U64(batch.len() as u64)),
+                        ],
+                    );
+                }
+                tel.counter_add("serving.completions", batch.len() as u64);
                 for r in batch {
                     metrics.on_completion(Completion {
                         class: r.class,
@@ -421,6 +498,7 @@ pub fn simulate_with_cost(
                     s.busy = true;
                     s.busy_until = now + service;
                     s.busy_time += service;
+                    s.dispatched_at = now;
                     s.inflight = batch;
                     metrics.on_dispatch(s.inflight.len());
                     log.events.push(TraceEvent::Dispatch {
@@ -429,6 +507,36 @@ pub fn simulate_with_cost(
                         cold,
                         ids: s.inflight.iter().map(|r| r.id).collect(),
                     });
+                    if spans_on {
+                        tel.instant(
+                            slice_tracks[slice_idx],
+                            "serving.event",
+                            "dispatch",
+                            now.as_secs_f64(),
+                            vec![
+                                ("slice", Value::U64(slice_idx as u64)),
+                                ("n", Value::U64(s.inflight.len() as u64)),
+                                ("cold", Value::U64(u64::from(cold))),
+                            ],
+                        );
+                        if tel.at(Level::Detail) {
+                            for r in &s.inflight {
+                                tel.span(
+                                    queue_track,
+                                    "serving.request",
+                                    "queue-wait",
+                                    r.arrival.as_secs_f64(),
+                                    (now - r.arrival).as_secs_f64(),
+                                    vec![
+                                        ("id", Value::U64(r.id)),
+                                        ("class", Value::U64(u64::from(r.class))),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    tel.counter_add("serving.dispatches", 1);
+                    tel.histogram_record("serving.batch_size", s.inflight.len() as f64);
                     push(
                         &mut events,
                         &mut seq,
@@ -460,6 +568,10 @@ pub fn simulate_with_cost(
         pending,
         &slices.iter().map(|s| s.busy_time).collect::<Vec<_>>(),
     );
+    tel.gauge_set("serving.makespan_s", summary.makespan_s);
+    tel.gauge_set("serving.goodput_rps", summary.goodput_rps);
+    tel.gauge_set("serving.mean_queue_depth", summary.mean_queue_depth);
+    tel.gauge_set("serving.p99_ms", summary.p99_ms);
     ServingOutcome {
         summary,
         trace: log,
@@ -620,6 +732,77 @@ mod tests {
         let again = simulate_with_cost(&config, &cost, &trace);
         assert_eq!(out.trace.to_log(), again.trace.to_log());
         assert_eq!(out.summary, again.summary);
+    }
+
+    #[test]
+    fn traced_run_mirrors_every_log_event_and_changes_nothing() {
+        let model = inception_v3();
+        let config = quick_config(BatchPolicy::SloAdaptive { max_batch: 32 });
+        let cost = BatchCostModel::new(&config.system, &model);
+        let trace = TraceConfig::poisson(400.0, 80, 7);
+        let plain = simulate_with_cost(&config, &cost, &trace);
+
+        let tel = Telemetry::enabled(Level::Detail);
+        let traced = simulate_traced(&config, &cost, &trace, &tel);
+        // The sink is a pure observer: trajectory and summary unchanged.
+        assert_eq!(plain.trace.to_log(), traced.trace.to_log());
+        assert_eq!(plain.summary, traced.summary);
+        // Exactly one telemetry record per logged trace event.
+        assert_eq!(
+            tel.record_count("serving.event"),
+            traced.trace.events.len(),
+            "serving.event records must mirror the trace log 1:1"
+        );
+        // Every dispatched request carries a queue-wait span; the run
+        // drains, so dispatched == completed.
+        assert_eq!(tel.span_count("serving.request"), traced.summary.completed);
+        // Counters reconcile with the summary books exactly.
+        assert_eq!(
+            tel.counter("serving.arrivals") as usize,
+            traced.summary.admitted
+        );
+        assert_eq!(
+            tel.counter("serving.drops") as usize,
+            traced.summary.dropped
+        );
+        assert_eq!(
+            tel.counter("serving.completions") as usize,
+            traced.summary.completed
+        );
+        assert_eq!(
+            tel.counter("serving.dispatches") as usize,
+            traced.summary.batches
+        );
+        let batch_hist = tel
+            .histogram("serving.batch_size")
+            .expect("batch histogram");
+        assert_eq!(batch_hist.count() as usize, traced.summary.batches);
+        // Summary gauges are stored verbatim.
+        assert_eq!(
+            tel.gauge("serving.makespan_s"),
+            Some(traced.summary.makespan_s)
+        );
+        assert_eq!(tel.gauge("serving.p99_ms"), Some(traced.summary.p99_ms));
+        // Batch-residency spans fold to the slices' total busy time (the
+        // utilization numerator; tolerance covers the ratio round-trip).
+        let busy: f64 = traced
+            .summary
+            .slice_utilization
+            .iter()
+            .map(|u| u * traced.summary.makespan_s)
+            .sum();
+        assert!((tel.sum_dur("serving.event") - busy).abs() <= busy * 1e-9 + 1e-12);
+
+        // Summary level keeps the metrics but records no timeline.
+        let quiet = Telemetry::enabled(Level::Summary);
+        let again = simulate_traced(&config, &cost, &trace, &quiet);
+        assert_eq!(again.summary, traced.summary);
+        assert_eq!(quiet.total_spans(), 0);
+        assert_eq!(quiet.total_instants(), 0);
+        assert_eq!(
+            quiet.counter("serving.arrivals") as usize,
+            traced.summary.admitted
+        );
     }
 
     #[test]

@@ -5,8 +5,12 @@
 use nc_dnn::inception::inception_v3;
 use nc_dnn::Model;
 use nc_geometry::SimTime;
-use nc_serve::{simulate, BatchPolicy, ServeConfig, ServingOutcome, TraceConfig, TraceEvent};
-use neural_cache::SystemConfig;
+use nc_serve::{
+    simulate, simulate_traced, simulate_with_cost, BatchPolicy, ServeConfig, ServingOutcome,
+    TraceConfig, TraceEvent,
+};
+use nc_telemetry::{Level, Telemetry};
+use neural_cache::{BatchCostModel, SystemConfig};
 use proptest::prelude::*;
 
 /// Decodes a policy from two random draws.
@@ -204,5 +208,54 @@ proptest! {
         // And re-running the same engine reproduces itself.
         let again = simulate(&mk(SystemConfig::xeon_e5_2697_v3()), &model(), &trace);
         prop_assert_eq!(seq.trace.to_log(), again.trace.to_log());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A traced simulation is trajectory-identical to the untraced one
+    /// and mirrors every deterministic log event as exactly one telemetry
+    /// record, with the lifecycle counters matching the summary's books.
+    #[test]
+    fn traced_simulation_mirrors_every_event(
+        policy_kind in 0usize..3,
+        size in 1usize..32,
+        trace_kind in 0usize..3,
+        rate in 50usize..3000,
+        requests in 10usize..120,
+        seed in 0u64..10_000,
+        slices in 1usize..4,
+        queue_capacity in 4usize..64,
+    ) {
+        let config = ServeConfig {
+            system: SystemConfig::xeon_e5_2697_v3(),
+            slices: slices.clamp(1, 4),
+            policy: policy_from(policy_kind, size),
+            queue_capacity: queue_capacity.clamp(4, 512),
+            slo: SimTime::from_millis(80.0),
+        };
+        let cost = BatchCostModel::new(&config.system, &model());
+        let trace = trace_from(trace_kind, rate, requests, seed, false);
+
+        let plain = simulate_with_cost(&config, &cost, &trace);
+        let tel = Telemetry::enabled(Level::Detail);
+        let traced = simulate_traced(&config, &cost, &trace, &tel);
+
+        // Pure observation: the trajectory is byte-identical.
+        prop_assert_eq!(plain.trace.to_log(), traced.trace.to_log());
+        prop_assert_eq!(&plain.summary, &traced.summary);
+
+        // Exactly one telemetry record per deterministic log event.
+        prop_assert_eq!(tel.record_count("serving.event"), traced.trace.events.len());
+        // Detail level also spans the queue wait of every dispatched
+        // request; a drained run dispatches exactly the completed set.
+        prop_assert_eq!(tel.span_count("serving.request"), traced.summary.completed);
+        // Lifecycle counters match the summary's books.
+        let s = &traced.summary;
+        prop_assert_eq!(tel.counter("serving.arrivals"), s.admitted as u64);
+        prop_assert_eq!(tel.counter("serving.drops"), s.dropped as u64);
+        prop_assert_eq!(tel.counter("serving.completions"), s.completed as u64);
+        prop_assert_eq!(tel.counter("serving.dispatches"), s.batches as u64);
     }
 }

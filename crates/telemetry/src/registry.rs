@@ -1,0 +1,287 @@
+//! Metric aggregation types: log2-bucketed value histograms and the
+//! time-weighted variant the serving queue-depth report feeds.
+//!
+//! Both histograms bucket by `floor(log2(value))` so they cover the nine
+//! decimal orders of magnitude between a one-nanosecond shard and a
+//! multi-second inference with a handful of integer keys, and both keep
+//! exact first-moment accumulators next to the buckets so the summary
+//! statistics they report reconcile bit-for-bit against the plain folds the
+//! simulators already compute (see `weighted_sum`).
+
+use std::collections::BTreeMap;
+
+/// Bucket key for a non-negative `f64` value: `floor(log2(value))`, with
+/// all non-positive values collapsed into [`ZERO_BUCKET`].
+#[must_use]
+pub fn log2_bucket(value: f64) -> i32 {
+    if value > 0.0 {
+        let b = value.log2().floor();
+        // f64 exponents live in [-1074, 1024]; the cast cannot truncate.
+        b as i32
+    } else {
+        ZERO_BUCKET
+    }
+}
+
+/// The bucket holding zero (and any non-positive or non-finite sample).
+pub const ZERO_BUCKET: i32 = i32::MIN;
+
+/// Lower edge of a bucket produced by [`log2_bucket`] (0 for the zero
+/// bucket).
+#[must_use]
+pub fn bucket_floor(bucket: i32) -> f64 {
+    if bucket == ZERO_BUCKET {
+        0.0
+    } else {
+        f64::from(bucket).exp2()
+    }
+}
+
+/// A log2-bucketed histogram of `f64` samples (counts per bucket plus exact
+/// count/sum/min/max accumulators).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        *self.buckets.entry(log2_bucket(value)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples (folded in record order).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// `(bucket, count)` pairs in ascending bucket order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(i32, u64)> {
+        self.buckets.iter().map(|(&b, &c)| (b, c)).collect()
+    }
+}
+
+/// A log2-bucketed histogram of **time-weighted** samples: each observation
+/// is a value held for a duration, and every statistic weights the value by
+/// that duration.
+///
+/// The serving simulator's queue-depth report is the motivating client: a
+/// queue depth is not a point sample but a level held for the span between
+/// two events, so a point-sampled histogram would over-represent busy
+/// bursts. [`TimeWeightedHistogram::weighted_sum`] accumulates
+/// `value * weight` **in observation order with the identical expression**
+/// the simulator's own `depth_integral` fold uses, so the two reconcile
+/// bit-for-bit (there is a regression test on the serving side).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeWeightedHistogram {
+    buckets: BTreeMap<i32, f64>,
+    weighted_sum: f64,
+    total_weight: f64,
+    max_value: f64,
+    observations: u64,
+}
+
+impl TimeWeightedHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` held for `weight` (e.g. a queue depth held for a
+    /// span of simulated seconds). Zero-weight observations still update
+    /// the max and the observation count.
+    pub fn observe(&mut self, value: f64, weight: f64) {
+        *self.buckets.entry(log2_bucket(value)).or_insert(0.0) += weight;
+        self.weighted_sum += value * weight;
+        self.total_weight += weight;
+        self.max_value = self.max_value.max(value);
+        self.observations += 1;
+    }
+
+    /// Exact `sum(value * weight)` in observation order.
+    #[must_use]
+    pub fn weighted_sum(&self) -> f64 {
+        self.weighted_sum
+    }
+
+    /// Total observed weight.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of observations (including zero-weight ones).
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Largest observed value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// Time-weighted mean over `total` (callers pass the full wall span,
+    /// which may exceed [`TimeWeightedHistogram::total_weight`] when
+    /// observation gaps exist); 0 when `total` is not positive.
+    #[must_use]
+    pub fn weighted_mean(&self, total: f64) -> f64 {
+        if total > 0.0 {
+            self.weighted_sum / total
+        } else {
+            0.0
+        }
+    }
+
+    /// `(bucket, weight)` pairs in ascending bucket order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(i32, f64)> {
+        self.buckets.iter().map(|(&b, &w)| (b, w)).collect()
+    }
+
+    /// Smallest value `v` such that at least `q` of the total weight lies
+    /// in buckets at or below `v`'s bucket, reported as the bucket's upper
+    /// edge (a conservative quantile; exact to bucket granularity).
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total_weight;
+        let mut acc = 0.0;
+        for (&bucket, &w) in &self.buckets {
+            acc += w;
+            if acc >= target {
+                return if bucket == ZERO_BUCKET {
+                    0.0
+                } else {
+                    bucket_floor(bucket + 1)
+                };
+            }
+        }
+        self.max_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_cover_edges() {
+        assert_eq!(log2_bucket(0.0), ZERO_BUCKET);
+        assert_eq!(log2_bucket(-3.0), ZERO_BUCKET);
+        assert_eq!(log2_bucket(1.0), 0);
+        assert_eq!(log2_bucket(1.5), 0);
+        assert_eq!(log2_bucket(2.0), 1);
+        assert_eq!(log2_bucket(0.5), -1);
+        assert_eq!(log2_bucket(1e-9), -30);
+        assert_eq!(bucket_floor(ZERO_BUCKET), 0.0);
+        assert_eq!(bucket_floor(3), 8.0);
+        assert_eq!(bucket_floor(-1), 0.5);
+    }
+
+    #[test]
+    fn histogram_tracks_moments_and_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        for v in [1.0, 1.5, 4.0, 0.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 6.5);
+        assert_eq!(h.mean(), 1.625);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.buckets(), vec![(ZERO_BUCKET, 1), (0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn time_weighted_sum_matches_plain_fold() {
+        // The serving simulator folds depth_integral += depth * span; the
+        // histogram must reproduce that fold bit-for-bit.
+        let samples = [(4.0, 0.01), (0.0, 0.02), (4.0, 0.01), (2.0, 0.01)];
+        let mut h = TimeWeightedHistogram::new();
+        let mut integral = 0.0;
+        for (v, w) in samples {
+            h.observe(v, w);
+            integral += v * w;
+        }
+        assert_eq!(h.weighted_sum(), integral);
+        assert_eq!(h.observations(), 4);
+        assert_eq!(h.max_value(), 4.0);
+        assert!((h.total_weight() - 0.05).abs() < 1e-15);
+        // Mean over the full makespan (0.05s busy within 0.083s wall).
+        let mean = h.weighted_mean(0.1);
+        assert!((mean - integral / 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_weighted_quantile_is_bucket_conservative() {
+        let mut h = TimeWeightedHistogram::new();
+        h.observe(0.0, 0.9);
+        h.observe(8.0, 0.1);
+        assert_eq!(h.quantile_upper_bound(0.5), 0.0);
+        assert_eq!(h.quantile_upper_bound(0.99), 16.0);
+        assert_eq!(TimeWeightedHistogram::new().quantile_upper_bound(0.5), 0.0);
+    }
+}

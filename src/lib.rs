@@ -13,7 +13,9 @@
 //!   traces, dynamic batching, latency SLOs),
 //! - [`baselines`] (`nc-baselines`): calibrated CPU/GPU comparison models,
 //! - [`verify`] (`nc-verify`): the static plan verifier (hazard checks,
-//!   operand-layout lints, three-way cycle reconciliation).
+//!   operand-layout lints, three-way cycle reconciliation),
+//! - [`telemetry`] (`nc-telemetry`): simulated-time tracing, the metrics
+//!   registry, and the Perfetto-loadable trace exporters.
 //!
 //! # Examples
 //!
@@ -34,5 +36,6 @@ pub use nc_dnn as dnn;
 pub use nc_geometry as geometry;
 pub use nc_serve as serve;
 pub use nc_sram as sram;
+pub use nc_telemetry as telemetry;
 pub use nc_verify as verify;
 pub use neural_cache as cache;
