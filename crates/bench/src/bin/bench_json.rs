@@ -4,7 +4,10 @@
 //! predicted-vs-executed skip cross-check, and the per-bank vs lockstep
 //! skip-variant spread), the activation-sparsity section (dense vs
 //! ReLU-sparse cycles under the dynamic input-bit skip modes and the
-//! detect-overhead break-even), the `nc-serve` serving section
+//! detect-overhead break-even), the bit-budget advisor section (cycle
+//! savings from value-range-proven operand trims, gated on a clean static
+//! certificate and a bit-identical trimmed reference run), the `nc-serve`
+//! serving section
 //! (offered-load sweep, trace/policy matrix, latency percentiles), and the
 //! telemetry section (span↔counter reconciliation matrix, no-op-sink
 //! overhead, per-thread utilization), for CI to upload as a per-PR perf
@@ -22,6 +25,9 @@
 //! to dense, executed input-skip counters disagreeing with
 //! `sparsity::activation_profile`, or a ReLU-sparse model failing to show a
 //! net MAC-phase speedup after the 1-cycle/round detect charge), if the
+//! bit-budget advisor gate fails (an advised budget losing its static
+//! soundness certificate, the trimmed run diverging from the untrimmed
+//! reference, or no shipped workload reporting a cycle saving), if the
 //! serving sanity gate fails (request conservation, latency monotone in
 //! offered load, goodput bounded by offered load, engine byte-identity), or
 //! if the telemetry gate fails (span rollups not reconciling exactly with
@@ -46,6 +52,7 @@ fn main() -> ExitCode {
     let comparisons = nc_bench::perf::compare_engines(threads, reps);
     let sparsity = nc_bench::perf::compare_sparsity(reps);
     let activation = nc_bench::perf::compare_activation_sparsity(reps);
+    let advisor = nc_bench::perf::compare_advisor();
     let serving = nc_bench::serving::run_serving_bench(threads);
     let telemetry = if tel_flags.disabled {
         None
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
         &comparisons,
         &sparsity,
         &activation,
+        &advisor,
         Some(&serving),
         telemetry.as_ref(),
         threads,
@@ -80,6 +88,10 @@ fn main() -> ExitCode {
     let activation_ok = activation
         .iter()
         .all(nc_bench::perf::ActivationComparison::verified);
+    let advisor_ok = advisor
+        .iter()
+        .all(nc_bench::perf::AdvisorComparison::verified)
+        && advisor.iter().any(|a| a.saved_cycles > 0);
     let serving_ok = serving.verified();
     let telemetry_ok = telemetry
         .as_ref()
@@ -110,6 +122,24 @@ fn main() -> ExitCode {
             }
         }
     }
+    if !advisor_ok {
+        eprintln!(
+            "FAIL: bit-budget advisor gate (every advised budget must carry a clean static \
+             certificate, the trimmed reference run must stay bit-identical, and at least one \
+             shipped workload must report a positive MAC-cycle saving)"
+        );
+        for a in &advisor {
+            eprintln!(
+                "  - {}: certified_sound {}, bit_identical {}, saved {}/{} cycles ({:.2}%)",
+                a.name,
+                a.certified_sound,
+                a.bit_identical,
+                a.saved_cycles,
+                a.governed_cycles,
+                100.0 * a.cycle_reduction()
+            );
+        }
+    }
     if !serving_ok {
         eprintln!("FAIL: serving sanity gate");
         for f in serving.gate_failures() {
@@ -124,7 +154,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if engines_ok && sparsity_ok && activation_ok && serving_ok && telemetry_ok {
+    if engines_ok && sparsity_ok && activation_ok && advisor_ok && serving_ok && telemetry_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,23 +1,34 @@
 //! Static plan lint gate: runs the `nc-verify` hazard checks, three-way
-//! cycle reconciliation, and the shard-graph concurrency proof over every
-//! shipped workload under all four sparsity modes, writes the diagnostics
-//! (and per-workload shard-graph stats) as a JSON artifact, and exits
-//! non-zero on *any* diagnostic — so CI fails the moment a plan, schedule,
-//! cost model, executor, or the Threaded engine's work decomposition
-//! drifts out of agreement.
+//! cycle reconciliation, the shard-graph concurrency proof, and the
+//! value-range overflow certification over every shipped workload under
+//! all four sparsity modes, writes the diagnostics (and per-workload
+//! shard-graph / value-range stats) as a JSON artifact, and exits non-zero
+//! on *any* diagnostic — so CI fails the moment a plan, schedule, cost
+//! model, executor, or the Threaded engine's work decomposition drifts out
+//! of agreement.
 //!
 //! Shape-only workloads (the full Inception v3 graph) get the static
 //! passes: operand-layout lints, per-mode MAC-tap schedule hazards,
 //! cost-model anchors, per-layer lane geometry / row budget / static ↔
-//! analytical MAC cycles, the reserved-way dump-overlap window, and the
-//! shard-graph happens-before analysis (V013–V019). Weighted workloads
-//! additionally run the functional executor under every sparsity mode on
-//! both engines and reconcile the executed `CycleStats` and `ArrayPool`
-//! event counters (V020) against the static predictions.
+//! analytical MAC cycles, the reserved-way dump-overlap window, the
+//! shard-graph happens-before analysis (V013–V019), and the value-range
+//! abstract interpretation with its overflow/width certificates
+//! (V021–V027) checked against both the default and the advised bit
+//! budgets. Weighted workloads additionally run the functional executor
+//! under every sparsity mode on both engines, reconcile the executed
+//! `CycleStats` and `ArrayPool` event counters (V020) against the static
+//! predictions, and reconcile every executed per-layer accumulator min/max
+//! against the static interval certificate (V021 on escape).
 //!
 //! ```bash
 //! cargo run --release -p nc-bench --bin plan_lint -- --out PLAN_LINT.json
 //! ```
+//!
+//! Exit codes: `0` all workloads clean, `1` at least one hazard-category
+//! diagnostic (plan/schedule/width defects, including V021–V027), `2`
+//! reconciliation-category diagnostics only (V009/V010/V020 — the static
+//! and executed views drifted but no plan hazard was proven), `3` the
+//! artifact could not be written.
 
 use std::process::ExitCode;
 
@@ -27,6 +38,7 @@ use nc_dnn::workload::{
     tiny_cnn,
 };
 use nc_dnn::Model;
+use nc_verify::diag::Category;
 use nc_verify::report::VerifyReport;
 use nc_verify::{check_executed_model, check_threaded_model};
 
@@ -57,6 +69,24 @@ fn verify(model: &Model, executed: bool) -> VerifyReport {
     }
 }
 
+fn range_stats_line(report: &VerifyReport) -> Option<String> {
+    let stat = |name: &str| {
+        report
+            .stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    let convs = stat("range_convs")?;
+    Some(format!(
+        "{} conv range(s), {} exact-weighted, acc width max {} bit(s), {} advised bit(s) trimmed",
+        convs,
+        stat("range_exact_weighted").unwrap_or(0),
+        stat("range_acc_bits_max").unwrap_or(0),
+        stat("range_trimmed_bits").unwrap_or(0),
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = nc_bench::parse_flag(&args, "--out").unwrap_or_else(|| "PLAN_LINT.json".into());
@@ -75,6 +105,8 @@ fn main() -> ExitCode {
 
     let mut reports = Vec::new();
     let mut dirty = 0u32;
+    let mut hazards = 0u32;
+    let mut reconciliations = 0u32;
     for (model, executed) in &workloads {
         let report = verify(model, *executed);
         let n = report.diagnostics.len();
@@ -101,6 +133,15 @@ fn main() -> ExitCode {
             }
             dirty += 1;
         }
+        if let Some(line) = range_stats_line(&report) {
+            println!("     ranges: {line}");
+        }
+        for d in &report.diagnostics {
+            match d.code.category() {
+                Category::Hazard => hazards += 1,
+                Category::Reconciliation => reconciliations += 1,
+            }
+        }
         reports.push(report);
     }
 
@@ -108,7 +149,7 @@ fn main() -> ExitCode {
     let artifact = format!("[{}]\n", json.join(","));
     if let Err(e) = std::fs::write(&out, artifact) {
         eprintln!("failed to write {out}: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(3);
     }
     println!("wrote {out}");
     nc_bench::telemetry::emit_canary_artifacts();
@@ -119,8 +160,17 @@ fn main() -> ExitCode {
             workloads.len()
         );
         ExitCode::SUCCESS
+    } else if hazards > 0 {
+        eprintln!(
+            "plan_lint: {dirty} workload(s) dirty ({hazards} hazard, {reconciliations} \
+             reconciliation diagnostic(s))"
+        );
+        ExitCode::from(1)
     } else {
-        eprintln!("plan_lint: {dirty} workload(s) with diagnostics");
-        ExitCode::FAILURE
+        eprintln!(
+            "plan_lint: {dirty} workload(s) with reconciliation-only drift \
+             ({reconciliations} diagnostic(s))"
+        );
+        ExitCode::from(2)
     }
 }

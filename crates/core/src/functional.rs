@@ -713,16 +713,20 @@ impl Exec {
         let shards =
             engine.run_observed(chunks.len(), |i| min_max_chunk(pool, chunks[i]), observer);
 
-        let mut min = i64::MAX;
-        let mut max = i64::MIN;
+        // Per-shard extremes fold through ValueStats: merge is commutative
+        // and associative, so the combined range is independent of shard
+        // completion order (the threaded engine's only freedom here).
+        let mut range = nc_sram::ValueStats::new();
         for shard in shards {
             let (lo, hi, cycles) = shard?;
             self.cycles += cycles;
-            min = min.min(lo);
-            max = max.max(hi);
+            let mut shard_stats = nc_sram::ValueStats::new();
+            shard_stats.observe(lo);
+            shard_stats.observe(hi);
+            range = range.merge(shard_stats);
         }
         self.op_span("ranging", before);
-        Ok((min, max))
+        Ok((range.min, range.max))
     }
 
     // ------------------------------------------------------------------

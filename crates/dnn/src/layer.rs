@@ -173,6 +173,45 @@ impl Conv2d {
     pub fn bias_of(&self, m: usize) -> i64 {
         self.bias.get(m).copied().unwrap_or(0)
     }
+
+    /// Smallest and largest weight codes across every filter, or `None` for
+    /// a shape-only layer. Seeds the value-range analysis with the actual
+    /// weight interval instead of the full `[0, 255]` code space.
+    #[must_use]
+    pub fn weight_code_bounds(&self) -> Option<(u8, u8)> {
+        let w = self.weights.as_ref()?;
+        let mut lo = u8::MAX;
+        let mut hi = u8::MIN;
+        for &q in w {
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        Some((lo.min(hi), hi))
+    }
+
+    /// Largest per-filter code sum `W1(m)`, or `None` for a shape-only
+    /// layer (bounds the zero-point-correction term exactly).
+    #[must_use]
+    pub fn filter_code_sum_bounds(&self) -> Option<(i64, i64)> {
+        self.weights.as_ref()?;
+        let sums = (0..self.spec.m).map(|m| self.filter_code_sum(m));
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for s in sums {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        Some((lo.min(hi), hi.max(lo)))
+    }
+
+    /// Smallest and largest per-filter bias, `(0, 0)` when no bias is
+    /// configured.
+    #[must_use]
+    pub fn bias_bounds(&self) -> (i64, i64) {
+        let lo = self.bias.iter().copied().min().unwrap_or(0);
+        let hi = self.bias.iter().copied().max().unwrap_or(0);
+        (lo, hi)
+    }
 }
 
 /// Pooling flavor.

@@ -58,6 +58,17 @@ impl ActQuant {
     pub fn dequantize(&self, q: u8) -> f64 {
         self.scale * (f64::from(q) - f64::from(self.zero_point))
     }
+
+    /// Zero-point-centered code interval: the exact integer range of
+    /// `q - zero_point` over all 256 codes. This is the seed interval of
+    /// the value-range abstract interpretation (`nc-verify::range`).
+    #[must_use]
+    pub fn centered_bounds(&self) -> (i64, i64) {
+        (
+            -i64::from(self.zero_point),
+            255 - i64::from(self.zero_point),
+        )
+    }
 }
 
 impl Default for ActQuant {
@@ -98,6 +109,16 @@ impl WeightQuant {
     #[must_use]
     pub fn quantize(&self, real: f64) -> u8 {
         ((real / self.scale).round() + f64::from(self.zero_point)).clamp(0.0, 255.0) as u8
+    }
+
+    /// Zero-point-centered code interval of `q - zero_point` over all 256
+    /// weight codes (see [`ActQuant::centered_bounds`]).
+    #[must_use]
+    pub fn centered_bounds(&self) -> (i64, i64) {
+        (
+            -i64::from(self.zero_point),
+            255 - i64::from(self.zero_point),
+        )
     }
 }
 
@@ -257,6 +278,43 @@ pub fn branch_requantizer(r_min: f64, r_max: f64, acc_scale: f64) -> Requantizer
     Requantizer::from_range(amin, amax.max(amin))
 }
 
+/// Adds two accumulator terms, debug-asserting that the sum stays inside
+/// `i64` (the widened reference executor must never silently wrap; release
+/// builds keep the plain wrapping add for speed).
+#[inline]
+#[must_use]
+pub fn acc_add(a: i64, b: i64) -> i64 {
+    debug_assert!(
+        a.checked_add(b).is_some(),
+        "accumulator add {a} + {b} wraps i64"
+    );
+    a.wrapping_add(b)
+}
+
+/// Multiplies two accumulator terms, debug-asserting the product stays
+/// inside `i64` (see [`acc_add`]).
+#[inline]
+#[must_use]
+pub fn acc_mul(a: i64, b: i64) -> i64 {
+    debug_assert!(
+        a.checked_mul(b).is_some(),
+        "accumulator multiply {a} * {b} wraps i64"
+    );
+    a.wrapping_mul(b)
+}
+
+/// Worst-case accumulator magnitude `n_taps * w_mag * a_mag + bias_mag`,
+/// computed with checked arithmetic: `None` means the bound itself does not
+/// fit `i64`, so the reference executor could wrap and no static interval
+/// can certify the layer.
+#[must_use]
+pub fn checked_acc_bound(n_taps: i64, w_mag: i64, a_mag: i64, bias_mag: i64) -> Option<i64> {
+    n_taps
+        .checked_mul(w_mag)?
+        .checked_mul(a_mag)?
+        .checked_add(bias_mag)
+}
+
 /// Shared activation parameters of a mixed block's concatenated output.
 #[must_use]
 pub fn shared_out_quant(r_min: f64, r_max: f64) -> ActQuant {
@@ -334,6 +392,47 @@ mod tests {
     fn degenerate_range_is_total() {
         let r = Requantizer::from_range(42, 42);
         assert_eq!(r.apply(42), 0);
+    }
+
+    #[test]
+    fn centered_bounds_cover_all_codes() {
+        let a = ActQuant {
+            scale: 0.5,
+            zero_point: 100,
+        };
+        assert_eq!(a.centered_bounds(), (-100, 155));
+        let w = WeightQuant {
+            scale: 1.0,
+            zero_point: 0,
+        };
+        assert_eq!(w.centered_bounds(), (0, 255));
+    }
+
+    #[test]
+    fn checked_acc_bound_detects_i64_overflow() {
+        assert_eq!(checked_acc_bound(9, 255, 255, 10), Some(9 * 255 * 255 + 10));
+        assert_eq!(checked_acc_bound(i64::MAX, 2, 1, 0), None);
+        assert_eq!(checked_acc_bound(1, 1, 1, i64::MAX), None);
+    }
+
+    #[test]
+    fn acc_helpers_compute_exactly() {
+        assert_eq!(acc_add(40, 2), 42);
+        assert_eq!(acc_mul(-6, 7), -42);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "accumulator add")]
+    fn acc_add_asserts_on_i64_wrap() {
+        let _ = acc_add(i64::MAX, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "accumulator multiply")]
+    fn acc_mul_asserts_on_i64_wrap() {
+        let _ = acc_mul(i64::MAX, 2);
     }
 
     #[test]

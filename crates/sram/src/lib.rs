@@ -86,7 +86,7 @@ pub use error::SramError;
 pub use operand::Operand;
 pub use pool::{ArrayPool, PoolStats, PooledArray};
 pub use sram::SramArray;
-pub use stats::{ArrayEnergy, ArrayTimings, CycleStats};
+pub use stats::{ArrayEnergy, ArrayTimings, CycleStats, ValueStats};
 pub use transpose::{TransposeUnit, TMU_TILE_DIM};
 
 // Compile-time Send/Sync audit: sharded execution engines move arrays into

@@ -177,6 +177,82 @@ impl fmt::Display for CycleStats {
     }
 }
 
+/// Running minimum/maximum of signed accumulator values observed during
+/// execution.
+///
+/// The value-range certifier in `nc-verify` proves static per-layer
+/// accumulator intervals; both execution engines track the values actually
+/// materialised so the static claim can be reconciled against reality.
+/// `observe`/`merge` are order-independent, which keeps the tracker exact
+/// under the threaded engine's nondeterministic shard completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueStats {
+    /// Smallest value observed, or `i64::MAX` if nothing was observed yet.
+    pub min: i64,
+    /// Largest value observed, or `i64::MIN` if nothing was observed yet.
+    pub max: i64,
+}
+
+impl ValueStats {
+    /// An empty tracker (identity element of [`ValueStats::merge`]).
+    #[must_use]
+    pub const fn new() -> Self {
+        ValueStats {
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    /// `true` until the first [`ValueStats::observe`] call.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.min > self.max
+    }
+
+    /// Fold one observed value into the running extrema.
+    pub const fn observe(&mut self, value: i64) {
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Combine two trackers (commutative and associative).
+    #[must_use]
+    pub const fn merge(self, rhs: ValueStats) -> ValueStats {
+        ValueStats {
+            min: if rhs.min < self.min {
+                rhs.min
+            } else {
+                self.min
+            },
+            max: if rhs.max > self.max {
+                rhs.max
+            } else {
+                self.max
+            },
+        }
+    }
+}
+
+impl Default for ValueStats {
+    fn default() -> Self {
+        ValueStats::new()
+    }
+}
+
+impl fmt::Display for ValueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{}, {}]", self.min, self.max)
+        }
+    }
+}
+
 /// Per-cycle delay constants for the compute SRAM array.
 ///
 /// The paper's SPICE simulation of the 28 nm computational 8KB array gives a
@@ -338,6 +414,23 @@ mod tests {
         };
         assert_eq!(diff.detect_cycles, 0);
         assert_eq!(diff.input_rounds_skipped, 0);
+    }
+
+    #[test]
+    fn value_stats_merge_is_order_independent() {
+        let mut a = ValueStats::new();
+        assert!(a.is_empty());
+        assert_eq!(a.to_string(), "[empty]");
+        a.observe(-3);
+        a.observe(17);
+        let mut b = ValueStats::new();
+        b.observe(5);
+        b.observe(-40);
+        assert_eq!(a.merge(b), b.merge(a));
+        let m = a.merge(b);
+        assert_eq!((m.min, m.max), (-40, 17));
+        assert_eq!(m.merge(ValueStats::new()), m, "empty is the identity");
+        assert_eq!(m.to_string(), "[-40, 17]");
     }
 
     #[test]

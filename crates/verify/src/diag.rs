@@ -63,9 +63,76 @@ pub enum ErrorCode {
     /// V020: executed `ArrayPool` event counts disagree with the static
     /// shard graph's prediction.
     ExecutedPoolMismatch,
+    /// V021: a proven accumulator interval exceeds its allocated operand
+    /// width (possible silent wraparound), or an executed per-layer
+    /// min/max escaped the certified static interval.
+    AccumulatorOverflow,
+    /// V022: a proven accumulator range is too wide for the requantization
+    /// pipeline's 32-bit multiply operand (values past the width would be
+    /// clipped before the scalar multiply).
+    RequantClippingRange,
+    /// V023: a proven interval cannot be biased into unsigned order by the
+    /// ranging offset (sign-extension mismatch in the min/max trees).
+    SignExtensionMismatch,
+    /// V024: an operand allocation carries at least N provably-dead high
+    /// bits (over-provisioned rows the bit-budget advisor should trim).
+    OverProvisionedRows,
+    /// V025: a value range is degenerate (statically a single value), so
+    /// the layer computes a constant.
+    DegenerateRange,
+    /// V026: the `SkipBoth` live-bit truncation width is below the highest
+    /// set weight bit (unsound truncation would corrupt products).
+    UnsoundTruncation,
+    /// V027: a reduction-tree operand is narrower than the proven worst
+    /// case of the running sums it carries.
+    ReduceWidthDeficit,
+}
+
+/// Coarse diagnostic class used by `plan_lint` to pick its exit code:
+/// structural/static hazards versus executed-vs-static reconciliation
+/// failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A static property of the plan or schedule is violated.
+    Hazard,
+    /// An executed run disagreed with its static prediction.
+    Reconciliation,
 }
 
 impl ErrorCode {
+    /// Every stable code, in `Vxxx` order. This array is the single source
+    /// of truth for the diagnostic table: tests derive the README table
+    /// check and uniqueness from it.
+    pub const ALL: [ErrorCode; 27] = [
+        ErrorCode::OperandOverlap,
+        ErrorCode::RowOutOfBounds,
+        ErrorCode::ReadPortOverflow,
+        ErrorCode::WritePortOverflow,
+        ErrorCode::ZeroRowClobbered,
+        ErrorCode::RowBudgetOverflow,
+        ErrorCode::LanePackingAlias,
+        ErrorCode::NonPowerOfTwoLanes,
+        ErrorCode::CycleMismatchAnalytical,
+        ErrorCode::CycleMismatchExecuted,
+        ErrorCode::ReservedWayPortConflict,
+        ErrorCode::DumpRowConflict,
+        ErrorCode::ShardWriteWriteRace,
+        ErrorCode::ShardReadWriteRace,
+        ErrorCode::BarrierBypass,
+        ErrorCode::PrematureRecycle,
+        ErrorCode::DumpWindowRace,
+        ErrorCode::ShardCoverageHole,
+        ErrorCode::PoolEventImbalance,
+        ErrorCode::ExecutedPoolMismatch,
+        ErrorCode::AccumulatorOverflow,
+        ErrorCode::RequantClippingRange,
+        ErrorCode::SignExtensionMismatch,
+        ErrorCode::OverProvisionedRows,
+        ErrorCode::DegenerateRange,
+        ErrorCode::UnsoundTruncation,
+        ErrorCode::ReduceWidthDeficit,
+    ];
+
     /// The stable `Vxxx` identifier.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -90,6 +157,60 @@ impl ErrorCode {
             ErrorCode::ShardCoverageHole => "V018",
             ErrorCode::PoolEventImbalance => "V019",
             ErrorCode::ExecutedPoolMismatch => "V020",
+            ErrorCode::AccumulatorOverflow => "V021",
+            ErrorCode::RequantClippingRange => "V022",
+            ErrorCode::SignExtensionMismatch => "V023",
+            ErrorCode::OverProvisionedRows => "V024",
+            ErrorCode::DegenerateRange => "V025",
+            ErrorCode::UnsoundTruncation => "V026",
+            ErrorCode::ReduceWidthDeficit => "V027",
+        }
+    }
+
+    /// Short human title of the hazard class, matching the README table's
+    /// second column (the table-coverage test compares against this).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            ErrorCode::OperandOverlap => "Operand overlap",
+            ErrorCode::RowOutOfBounds => "Row out of bounds",
+            ErrorCode::ReadPortOverflow => "Read-port overflow",
+            ErrorCode::WritePortOverflow => "Write-port overflow",
+            ErrorCode::ZeroRowClobbered => "Zero-row clobber",
+            ErrorCode::RowBudgetOverflow => "Row-budget overflow",
+            ErrorCode::LanePackingAlias => "Lane-packing alias",
+            ErrorCode::NonPowerOfTwoLanes => "Non-power-of-two span",
+            ErrorCode::CycleMismatchAnalytical => "Static/analytical cycle mismatch",
+            ErrorCode::CycleMismatchExecuted => "Static/executed cycle mismatch",
+            ErrorCode::ReservedWayPortConflict => "Reserved-way port conflict",
+            ErrorCode::DumpRowConflict => "Dump-row conflict",
+            ErrorCode::ShardWriteWriteRace => "Shard write-write race",
+            ErrorCode::ShardReadWriteRace => "Shard read-write race",
+            ErrorCode::BarrierBypass => "Reduce-barrier bypass",
+            ErrorCode::PrematureRecycle => "Premature pool recycle",
+            ErrorCode::DumpWindowRace => "Dump-window race",
+            ErrorCode::ShardCoverageHole => "Shard coverage hole",
+            ErrorCode::PoolEventImbalance => "Pool event imbalance",
+            ErrorCode::ExecutedPoolMismatch => "Executed pool mismatch",
+            ErrorCode::AccumulatorOverflow => "Accumulator overflow",
+            ErrorCode::RequantClippingRange => "Requant clipping range",
+            ErrorCode::SignExtensionMismatch => "Sign-extension mismatch",
+            ErrorCode::OverProvisionedRows => "Over-provisioned rows",
+            ErrorCode::DegenerateRange => "Degenerate range",
+            ErrorCode::UnsoundTruncation => "Unsound live-bit truncation",
+            ErrorCode::ReduceWidthDeficit => "Reduce-tree width deficit",
+        }
+    }
+
+    /// Whether this code reports a static hazard or an executed-vs-static
+    /// reconciliation failure (`plan_lint` exits 1 vs 2 on them).
+    #[must_use]
+    pub fn category(self) -> Category {
+        match self {
+            ErrorCode::CycleMismatchAnalytical
+            | ErrorCode::CycleMismatchExecuted
+            | ErrorCode::ExecutedPoolMismatch => Category::Reconciliation,
+            _ => Category::Hazard,
         }
     }
 }
@@ -185,34 +306,24 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            ErrorCode::OperandOverlap,
-            ErrorCode::RowOutOfBounds,
-            ErrorCode::ReadPortOverflow,
-            ErrorCode::WritePortOverflow,
-            ErrorCode::ZeroRowClobbered,
-            ErrorCode::RowBudgetOverflow,
-            ErrorCode::LanePackingAlias,
-            ErrorCode::NonPowerOfTwoLanes,
-            ErrorCode::CycleMismatchAnalytical,
-            ErrorCode::CycleMismatchExecuted,
-            ErrorCode::ReservedWayPortConflict,
-            ErrorCode::DumpRowConflict,
-            ErrorCode::ShardWriteWriteRace,
-            ErrorCode::ShardReadWriteRace,
-            ErrorCode::BarrierBypass,
-            ErrorCode::PrematureRecycle,
-            ErrorCode::DumpWindowRace,
-            ErrorCode::ShardCoverageHole,
-            ErrorCode::PoolEventImbalance,
-            ErrorCode::ExecutedPoolMismatch,
-        ];
         let mut seen = std::collections::HashSet::new();
-        for code in all {
+        for (i, code) in ErrorCode::ALL.into_iter().enumerate() {
             assert!(seen.insert(code.as_str()), "duplicate code {code}");
-            assert!(code.as_str().starts_with('V'));
+            // ALL is ordered: position i carries identifier V(i+1).
+            assert_eq!(code.as_str(), format!("V{:03}", i + 1));
+            assert!(!code.description().is_empty());
         }
-        assert_eq!(seen.len(), 20);
+        assert_eq!(seen.len(), 27);
+    }
+
+    #[test]
+    fn categories_split_reconciliation_from_hazards() {
+        let recon: Vec<&str> = ErrorCode::ALL
+            .into_iter()
+            .filter(|c| c.category() == Category::Reconciliation)
+            .map(ErrorCode::as_str)
+            .collect();
+        assert_eq!(recon, ["V009", "V010", "V020"]);
     }
 
     #[test]

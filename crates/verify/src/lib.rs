@@ -32,6 +32,14 @@
 //!    the model and proven race-free by happens-before analysis
 //!    (V013–V019), then reconciled against the executed pool counters
 //!    (V020).
+//! 5. **Value-range certification** ([`range`]): an interval × known-bits
+//!    abstract interpretation seeded from each layer's quantization
+//!    parameters, propagated op-by-op through the schedule and across
+//!    layers by a single-pass dataflow fixpoint (the layer graph is a
+//!    DAG). Emits overflow/clipping/provisioning diagnostics V021–V027,
+//!    reconciles executed per-layer min/max against the certified
+//!    intervals, and feeds proven bounds to the bit-budget advisor in
+//!    `neural_cache::mapping`.
 //!
 //! Entry points: [`check_model`] (static + analytical legs, works on
 //! shape-only models), [`check_threaded_model`] (adds the shard-graph
@@ -62,6 +70,7 @@ pub mod diag;
 pub mod extract;
 pub mod hb;
 pub mod ir;
+pub mod range;
 pub mod report;
 pub mod shard;
 
@@ -72,7 +81,7 @@ use neural_cache::cost::DATA_BITS;
 use neural_cache::functional::{
     run_model_configured, FunctionalError, FunctionalResult, PoolEvents,
 };
-use neural_cache::mapping::{conv_lane_geometry, plan_model_with};
+use neural_cache::mapping::{conv_lane_geometry, plan_model_with, BitBudget};
 use neural_cache::{ExecutionEngine, SparsityMode, SystemConfig, UnitPlan};
 
 use crate::diag::{Diagnostic, ErrorCode};
@@ -144,6 +153,47 @@ pub fn check_model(config: &SystemConfig, model: &Model) -> VerifyReport {
     report.record("plan-reconciliation", plan_diags);
 
     report.record("dump-overlap", check_dump_overlap(config, model));
+
+    // Value-range certification (V021-V027): interval x known-bits pass
+    // over the schedule, checked against the default provisioning for
+    // soundness and against the advised (trimmed) budgets for both
+    // soundness and tightness. V024 is only meaningful against advised
+    // budgets — the fixed Figure 10 defaults intentionally over-provision
+    // small layers, and the advisor is the remedy, not a hazard.
+    let ranges = range::model_ranges(model);
+    let mut range_diags = Vec::new();
+    let mut trimmed_bits = 0u64;
+    let mut acc_bits_max = 0u32;
+    let mut exact = 0u64;
+    for conv in &ranges.convs {
+        let label = &conv.name;
+        range_diags.extend(range::check_pipeline(label, conv));
+        let default = BitBudget::default_for(label.as_str());
+        range_diags.extend(range::check_widths(
+            &format!("{label}/default"),
+            conv,
+            &default,
+        ));
+        let advised = conv.advise();
+        range_diags.extend(range::check_widths(
+            &format!("{label}/advised"),
+            conv,
+            &advised,
+        ));
+        range_diags.extend(range::check_provisioning(
+            &format!("{label}/advised"),
+            conv,
+            &advised,
+        ));
+        trimmed_bits += advised.trimmed_bits();
+        acc_bits_max = acc_bits_max.max(conv.acc_raw.signed_bits());
+        exact += u64::from(conv.exact_weights);
+    }
+    report.record("value-ranges", range_diags);
+    report.stat("range_convs", ranges.convs.len() as u64);
+    report.stat("range_exact_weighted", exact);
+    report.stat("range_acc_bits_max", u64::from(acc_bits_max));
+    report.stat("range_trimmed_bits", trimmed_bits);
     report
 }
 
@@ -433,6 +483,29 @@ pub fn check_executed_model(
         pool_diags.extend(reconcile_pool_events(predicted, name, r.pool));
     }
     report.record("pool-reconciliation", pool_diags);
+
+    // V021 executed leg: every per-sublayer accumulator min/max measured
+    // by any of the eight runs must lie inside the statically certified
+    // interval — the empirical soundness gate of the range analysis.
+    let ranges = range::model_ranges(model);
+    let mut range_diags = Vec::new();
+    for (name, r) in [
+        ("dense/seq", &dense),
+        ("skip_rows/seq", &skipping),
+        ("skip_inputs/seq", &dynamic),
+        ("skip_both/seq", &both),
+        ("dense/threaded", &threaded),
+        ("skip_rows/threaded", &threaded_rows),
+        ("skip_inputs/threaded", &threaded_inputs),
+        ("skip_both/threaded", &threaded_both),
+    ] {
+        range_diags.extend(range::reconcile_executed_ranges(
+            name,
+            &ranges,
+            &r.sublayers,
+        ));
+    }
+    report.record("executed-ranges", range_diags);
     Ok(report)
 }
 
@@ -478,8 +551,15 @@ mod tests {
     #[test]
     fn shape_only_inception_verifies_clean() {
         let config = SystemConfig::default();
-        let report = check_model(&config, &nc_dnn::inception::inception_v3());
+        let model = nc_dnn::inception::inception_v3();
+        let report = check_model(&config, &model);
         assert!(report.is_clean(), "{report}");
+        assert!(report.checks.iter().any(|c| c == "value-ranges"));
+        let expected = model.conv_sublayer_count() as u64;
+        assert!(report
+            .stats
+            .iter()
+            .any(|(name, value)| name == "range_convs" && *value == expected));
     }
 
     #[test]
@@ -517,6 +597,7 @@ mod tests {
         assert!(report.checks.iter().any(|c| c == "executed-reconciliation"));
         assert!(report.checks.iter().any(|c| c == "pool-reconciliation"));
         assert!(report.checks.iter().any(|c| c == "shard-graph"));
+        assert!(report.checks.iter().any(|c| c == "executed-ranges"));
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Single source of truth for diagnostic codes: the README's diagnostics
+//! table must list every `ErrorCode` exactly once, with exactly the
+//! `description()` string the crate ships — so adding a code without
+//! documenting it (or documenting a phantom code) fails CI.
+
+use std::collections::BTreeMap;
+
+use nc_verify::diag::ErrorCode;
+
+/// Extracts `(code, meaning)` cells from the README's two-column-pair
+/// diagnostics tables: every `` `V0xx` `` cell followed by its meaning
+/// cell, across all table rows.
+fn table_entries(readme: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    for line in readme.lines() {
+        let line = line.trim();
+        if !line.starts_with("| `V") {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        for pair in cells.chunks(2) {
+            let [code, meaning] = pair else { continue };
+            let Some(code) = code.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+                continue;
+            };
+            if code.starts_with('V') {
+                entries.push((code.to_owned(), (*meaning).to_owned()));
+            }
+        }
+    }
+    entries
+}
+
+#[test]
+fn readme_table_lists_every_code_exactly_once() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("README.md at the repo root");
+    let entries = table_entries(&readme);
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for (code, _) in &entries {
+        *counts.entry(code.as_str()).or_default() += 1;
+    }
+
+    for code in ErrorCode::ALL {
+        assert_eq!(
+            counts.get(code.as_str()).copied().unwrap_or(0),
+            1,
+            "{} must appear exactly once in the README diagnostics tables",
+            code.as_str()
+        );
+        let documented = entries
+            .iter()
+            .filter(|(c, _)| c == code.as_str())
+            .map(|(_, m)| m.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(
+            documented,
+            vec![code.description()],
+            "{}'s README meaning must match ErrorCode::description()",
+            code.as_str()
+        );
+    }
+
+    // No phantom codes: every table entry maps back to a shipped code.
+    let known: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+    for (code, _) in &entries {
+        assert!(
+            known.contains(&code.as_str()),
+            "README documents {code}, which no ErrorCode ships"
+        );
+    }
+}
